@@ -1,0 +1,84 @@
+use mixnn_fl::FlError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for attack construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// The underlying federated machinery failed.
+    Fl(FlError),
+    /// The adversary has no background data for some attribute class —
+    /// ∇Sim cannot build that class's attack model.
+    MissingBackground {
+        /// The uncovered attribute class.
+        attribute: usize,
+    },
+    /// An observed update's signature does not match the attack models.
+    SignatureMismatch,
+    /// The experiment configuration is inconsistent (e.g. zero rounds).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Fl(e) => write!(f, "federated machinery failed during attack: {e}"),
+            AttackError::MissingBackground { attribute } => {
+                write!(f, "no background data for attribute class {attribute}")
+            }
+            AttackError::SignatureMismatch => {
+                write!(f, "update signature does not match the attack models")
+            }
+            AttackError::InvalidConfig { reason } => {
+                write!(f, "invalid attack configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Fl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlError> for AttackError {
+    fn from(e: FlError) -> Self {
+        AttackError::Fl(e)
+    }
+}
+
+impl From<mixnn_nn::NnError> for AttackError {
+    fn from(e: mixnn_nn::NnError) -> Self {
+        AttackError::Fl(FlError::Nn(e))
+    }
+}
+
+impl From<mixnn_data::DataError> for AttackError {
+    fn from(e: mixnn_data::DataError) -> Self {
+        AttackError::Fl(FlError::Data(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: AttackError = FlError::EmptyRound.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

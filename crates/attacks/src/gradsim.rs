@@ -1,0 +1,461 @@
+//! The core ∇Sim machinery: attack models, reference directions, scoring.
+
+use crate::AttackError;
+use mixnn_data::Dataset;
+use mixnn_fl::{train_local, FlConfig};
+use mixnn_nn::{ModelParams, Sequential};
+use mixnn_tensor::vecmath;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The similarity metric comparing gradient directions (cosine in the
+/// paper; the alternatives are ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityMetric {
+    /// Cosine similarity (the paper's choice — scale-invariant, so it
+    /// survives learning-rate differences between attacker and victims).
+    Cosine,
+    /// Negative Euclidean distance.
+    Euclidean,
+    /// Raw dot product.
+    Dot,
+}
+
+impl SimilarityMetric {
+    /// Scores how close `update` is to `reference` (higher = closer).
+    pub fn score(&self, update: &[f32], reference: &[f32]) -> f32 {
+        match self {
+            SimilarityMetric::Cosine => vecmath::cosine_similarity(update, reference),
+            SimilarityMetric::Euclidean => -vecmath::euclidean_distance(update, reference),
+            SimilarityMetric::Dot => vecmath::dot(update, reference),
+        }
+    }
+}
+
+/// Configuration of the ∇Sim attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradSimConfig {
+    /// Local-training hyper-parameters used to build the attack models.
+    /// §6.1.4: "the attack models are trained for 5 learning rounds of the
+    /// previous architecture" — mirror the victims' settings with
+    /// `attack_epochs` controlling depth.
+    pub attack_epochs: usize,
+    /// The similarity metric (cosine in the paper).
+    pub metric: SimilarityMetric,
+    /// Seed for the attack model training (batch shuffling).
+    pub seed: u64,
+}
+
+impl Default for GradSimConfig {
+    fn default() -> Self {
+        GradSimConfig {
+            attack_epochs: 5,
+            metric: SimilarityMetric::Cosine,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted ∇Sim attack: one reference model per sensitive-attribute
+/// class, all trained from a common base model.
+///
+/// # Example
+///
+/// ```no_run
+/// use mixnn_attacks::{GradSim, GradSimConfig};
+/// use mixnn_data::lfw_like;
+/// use mixnn_fl::FlConfig;
+/// use mixnn_nn::zoo;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_attacks::AttackError> {
+/// let fed = lfw_like(0).generate().unwrap();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let template = zoo::conv2_fc3(zoo::InputSpec::new(1, 8, 8), 2, 2, 8, &mut rng);
+/// let background = vec![
+///     (0, fed.participants()[0].train().clone()),
+///     (1, fed.participants()[10].train().clone()),
+/// ];
+/// let attack = GradSim::fit(
+///     &template,
+///     &template.params(),
+///     &background,
+///     &FlConfig::default(),
+///     &GradSimConfig::default(),
+/// )?;
+/// assert_eq!(attack.num_attributes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradSim {
+    base: ModelParams,
+    references: Vec<ModelParams>,
+    metric: SimilarityMetric,
+}
+
+impl GradSim {
+    /// Trains the per-attribute attack models.
+    ///
+    /// `background` pairs each attribute class with the adversary's pooled
+    /// auxiliary data for that class; every class in `0..max_attr+1` must
+    /// be covered. Training starts from `base` (the model the victims will
+    /// refine) and uses the same [`train_local`] routine as real clients —
+    /// the fidelity of ∇Sim rests on that symmetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::MissingBackground`] if an attribute class has
+    /// no data, [`AttackError::InvalidConfig`] for an empty background, and
+    /// propagates training failures.
+    pub fn fit(
+        template: &Sequential,
+        base: &ModelParams,
+        background: &[(usize, Dataset)],
+        fl_cfg: &FlConfig,
+        cfg: &GradSimConfig,
+    ) -> Result<GradSim, AttackError> {
+        if background.is_empty() {
+            return Err(AttackError::InvalidConfig {
+                reason: "background knowledge is empty".to_string(),
+            });
+        }
+        let num_attributes = background.iter().map(|(a, _)| a + 1).max().expect("non-empty");
+        let mut per_attr: Vec<Option<&Dataset>> = vec![None; num_attributes];
+        for (attr, data) in background {
+            per_attr[*attr] = Some(data);
+        }
+        let attack_cfg = FlConfig {
+            local_epochs: cfg.attack_epochs,
+            ..*fl_cfg
+        };
+        let mut references = Vec::with_capacity(num_attributes);
+        for (attr, data) in per_attr.into_iter().enumerate() {
+            let data = data.ok_or(AttackError::MissingBackground { attribute: attr })?;
+            let reference = train_local(
+                template,
+                base,
+                data,
+                &attack_cfg,
+                cfg.seed ^ (0xa77ac + attr as u64),
+            )?;
+            references.push(reference);
+        }
+        Ok(GradSim {
+            base: base.clone(),
+            references,
+            metric: cfg.metric,
+        })
+    }
+
+    /// Number of attribute classes covered.
+    pub fn num_attributes(&self) -> usize {
+        self.references.len()
+    }
+
+    /// The base model the references were trained from.
+    pub fn base(&self) -> &ModelParams {
+        &self.base
+    }
+
+    /// The reference (attack) model of an attribute class.
+    pub fn reference(&self, attr: usize) -> Option<&ModelParams> {
+        self.references.get(attr)
+    }
+
+    /// The reference *gradient direction* of a class: `reference − base`,
+    /// flattened. This is the fingerprint template the update is compared
+    /// against.
+    pub fn reference_direction(&self, attr: usize) -> Option<Vec<f32>> {
+        Some(self.references.get(attr)?.delta(&self.base)?.flatten())
+    }
+
+    /// The reference direction with the **common mode removed**: all
+    /// classes' gradients share a large "fit the data" component that says
+    /// nothing about the attribute; subtracting the mean reference
+    /// direction leaves only the class-discriminative part. This is what
+    /// scoring uses — without it, the shared component dominates the
+    /// cosine and the active attack (whose crafted starting point sits far
+    /// from the honest trajectory) loses its edge.
+    pub fn centered_direction(&self, attr: usize) -> Option<Vec<f32>> {
+        let target = self.reference_direction(attr)?;
+        let mut mean = vec![0.0f32; target.len()];
+        for a in 0..self.references.len() {
+            let dir = self.reference_direction(a)?;
+            for (m, d) in mean.iter_mut().zip(&dir) {
+                *m += d / self.references.len() as f32;
+            }
+        }
+        Some(
+            target
+                .iter()
+                .zip(&mean)
+                .map(|(t, m)| t - m)
+                .collect(),
+        )
+    }
+
+    /// Scores an observed update (the returned parameters) against every
+    /// attribute class. Higher = closer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::SignatureMismatch`] if the update does not
+    /// match the attack models' architecture.
+    pub fn score(&self, observed: &ModelParams) -> Result<Vec<f32>, AttackError> {
+        let gradient = observed
+            .delta(&self.base)
+            .ok_or(AttackError::SignatureMismatch)?
+            .flatten();
+        (0..self.references.len())
+            .map(|attr| {
+                let reference = self
+                    .centered_direction(attr)
+                    .ok_or(AttackError::SignatureMismatch)?;
+                Ok(self.metric.score(&gradient, &reference))
+            })
+            .collect()
+    }
+
+    /// Predicts the attribute class of an observed update (argmax score).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradSim::score`].
+    pub fn infer(&self, observed: &ModelParams) -> Result<usize, AttackError> {
+        Ok(vecmath::argmax(&self.score(observed)?))
+    }
+
+    /// The **active-attack model**: a point (approximately) equidistant
+    /// from all reference models, computed in the models' affine hull by
+    /// iterative correction from their centroid. Sending this model makes
+    /// each class's gradient pull maximally symmetric, amplifying the
+    /// fingerprint (§5: "the aggregation server sends to participants the
+    /// model calculated for being equidistant from the models associated to
+    /// the sensitive attributes").
+    ///
+    /// For two classes this converges to the midpoint in one step.
+    pub fn equidistant_model(&self) -> ModelParams {
+        let refs = &self.references;
+        if refs.len() == 1 {
+            return refs[0].clone();
+        }
+        // Start at the centroid.
+        let mut point = ModelParams::mean(refs).expect("references share a signature");
+        // Iteratively equalize distances: move along (point − ref_a) to
+        // lengthen/shorten each distance toward the mean distance.
+        for _ in 0..64 {
+            let distances: Vec<f32> = refs
+                .iter()
+                .map(|r| point.l2_distance(r).expect("signatures match"))
+                .collect();
+            let mean_d = distances.iter().sum::<f32>() / distances.len() as f32;
+            let max_err = distances
+                .iter()
+                .map(|d| (d - mean_d).abs())
+                .fold(0.0f32, f32::max);
+            if mean_d == 0.0 || max_err / mean_d.max(1e-12) < 1e-4 {
+                break;
+            }
+            let mut correction = point.scale(0.0);
+            for (r, &d) in refs.iter().zip(&distances) {
+                if d == 0.0 {
+                    continue;
+                }
+                // Unit vector from the reference toward the point, scaled
+                // by the distance error.
+                let dir = point.delta(r).expect("signatures match");
+                let step = (mean_d - d) / d / refs.len() as f32;
+                correction = correction.add(&dir.scale(step)).expect("signatures match");
+            }
+            point = point.add(&correction).expect("signatures match");
+        }
+        point
+    }
+}
+
+/// Accumulates per-target similarity scores across learning rounds.
+///
+/// §5: the fingerprint "can be amplified if the attack is conducted during
+/// multiple rounds". The session sums each round's score vector per target
+/// and predicts by argmax of the running total — the estimator behind the
+/// per-round curves of Fig. 7.
+#[derive(Debug, Clone, Default)]
+pub struct AttackSession {
+    scores: HashMap<usize, Vec<f32>>,
+    rounds_recorded: usize,
+}
+
+impl AttackSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        AttackSession::default()
+    }
+
+    /// Adds one round's score vector for a target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the score vector length changes between rounds for the
+    /// same target (attack-driver bug).
+    pub fn record(&mut self, target: usize, scores: &[f32]) {
+        let entry = self
+            .scores
+            .entry(target)
+            .or_insert_with(|| vec![0.0; scores.len()]);
+        assert_eq!(entry.len(), scores.len(), "score arity changed mid-attack");
+        for (acc, &s) in entry.iter_mut().zip(scores) {
+            *acc += s;
+        }
+    }
+
+    /// Marks the end of a round (for bookkeeping).
+    pub fn end_round(&mut self) {
+        self.rounds_recorded += 1;
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds_recorded(&self) -> usize {
+        self.rounds_recorded
+    }
+
+    /// Targets with at least one recorded score.
+    pub fn observed_targets(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.scores.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current prediction for a target (argmax of accumulated scores).
+    pub fn prediction(&self, target: usize) -> Option<usize> {
+        self.scores.get(&target).map(|s| vecmath::argmax(s))
+    }
+
+    /// Inference accuracy against ground truth, over the targets observed
+    /// so far. Returns `None` if nothing was observed.
+    pub fn accuracy(&self, truth: &HashMap<usize, usize>) -> Option<f32> {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (target, scores) in &self.scores {
+            if let Some(&true_attr) = truth.get(target) {
+                total += 1;
+                if vecmath::argmax(scores) == true_attr {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(correct as f32 / total as f32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixnn_nn::LayerParams;
+
+    fn mp(vals: &[f32]) -> ModelParams {
+        ModelParams::from_layers(vec![LayerParams::from_values(vals.to_vec())])
+    }
+
+    fn hand_built_gradsim() -> GradSim {
+        // base at origin; reference directions along +x and +y.
+        GradSim {
+            base: mp(&[0.0, 0.0]),
+            references: vec![mp(&[1.0, 0.0]), mp(&[0.0, 1.0])],
+            metric: SimilarityMetric::Cosine,
+        }
+    }
+
+    #[test]
+    fn metric_scores() {
+        let a = [1.0f32, 0.0];
+        let b = [2.0f32, 0.0];
+        assert!(SimilarityMetric::Cosine.score(&a, &b) > 0.99);
+        assert_eq!(SimilarityMetric::Euclidean.score(&a, &b), -1.0);
+        assert_eq!(SimilarityMetric::Dot.score(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn infer_picks_closest_direction() {
+        let gs = hand_built_gradsim();
+        // An update pulled along +x must classify as attribute 0.
+        assert_eq!(gs.infer(&mp(&[0.9, 0.1])).unwrap(), 0);
+        assert_eq!(gs.infer(&mp(&[0.1, 0.9])).unwrap(), 1);
+    }
+
+    #[test]
+    fn score_rejects_wrong_signature() {
+        let gs = hand_built_gradsim();
+        let alien = ModelParams::from_layers(vec![LayerParams::from_values(vec![0.0; 3])]);
+        assert!(matches!(
+            gs.score(&alien),
+            Err(AttackError::SignatureMismatch)
+        ));
+    }
+
+    #[test]
+    fn reference_direction_is_delta() {
+        let gs = hand_built_gradsim();
+        assert_eq!(gs.reference_direction(0).unwrap(), vec![1.0, 0.0]);
+        assert!(gs.reference_direction(5).is_none());
+    }
+
+    #[test]
+    fn equidistant_of_two_is_midpoint() {
+        let gs = hand_built_gradsim();
+        let e = gs.equidistant_model();
+        let d0 = e.l2_distance(gs.reference(0).unwrap()).unwrap();
+        let d1 = e.l2_distance(gs.reference(1).unwrap()).unwrap();
+        assert!((d0 - d1).abs() < 1e-4, "d0={d0} d1={d1}");
+        // Midpoint of (1,0) and (0,1) is (0.5, 0.5).
+        let flat = e.flatten();
+        assert!((flat[0] - 0.5).abs() < 1e-3);
+        assert!((flat[1] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn equidistant_of_three_is_nearly_equidistant() {
+        let gs = GradSim {
+            base: mp(&[0.0, 0.0]),
+            references: vec![mp(&[1.0, 0.0]), mp(&[0.0, 1.0]), mp(&[3.0, 3.0])],
+            metric: SimilarityMetric::Cosine,
+        };
+        let e = gs.equidistant_model();
+        let ds: Vec<f32> = (0..3)
+            .map(|i| e.l2_distance(gs.reference(i).unwrap()).unwrap())
+            .collect();
+        let mean = ds.iter().sum::<f32>() / 3.0;
+        for d in &ds {
+            assert!(
+                (d - mean).abs() / mean < 0.02,
+                "distances not equalized: {ds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_accumulates_and_predicts() {
+        let mut s = AttackSession::new();
+        s.record(7, &[0.1, 0.5]);
+        s.record(7, &[0.3, 0.0]);
+        s.end_round();
+        // Accumulated: [0.4, 0.5] → class 1.
+        assert_eq!(s.prediction(7), Some(1));
+        let mut truth = HashMap::new();
+        truth.insert(7usize, 1usize);
+        assert_eq!(s.accuracy(&truth), Some(1.0));
+        assert_eq!(s.rounds_recorded(), 1);
+        assert_eq!(s.observed_targets(), vec![7]);
+    }
+
+    #[test]
+    fn session_accuracy_none_when_empty() {
+        let s = AttackSession::new();
+        assert_eq!(s.accuracy(&HashMap::new()), None);
+        assert_eq!(s.prediction(0), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! The §6.4 robustness analysis (Fig. 9).
+//!
+//! A malicious server could try to undo MixNN by enumerating combinations
+//! of the mixed layers to "reconstruct" original updates. The paper's
+//! counter-argument is statistical: participants' gradients are so close
+//! together that every participant has several *alter egos* within a small
+//! Euclidean radius, so pieces are not attributable. Fig. 9 plots the CDF
+//! over participants of the number of such close neighbours (radius 0.5).
+
+use mixnn_tensor::vecmath;
+
+/// Counts, for every gradient vector, how many *other* vectors lie within
+/// `radius` (Euclidean).
+///
+/// If `normalize` is set, each vector is scaled to unit norm first —
+/// gradients shrink as training converges, so normalization keeps one
+/// radius meaningful across rounds (the raw variant matches the paper's
+/// description literally).
+///
+/// # Panics
+///
+/// Panics if vectors have inconsistent lengths.
+pub fn neighbor_counts(gradients: &[Vec<f32>], radius: f32, normalize: bool) -> Vec<usize> {
+    let prepared: Vec<Vec<f32>> = if normalize {
+        gradients
+            .iter()
+            .map(|g| {
+                let n = vecmath::norm(g);
+                if n == 0.0 {
+                    g.clone()
+                } else {
+                    g.iter().map(|v| v / n).collect()
+                }
+            })
+            .collect()
+    } else {
+        gradients.to_vec()
+    };
+    (0..prepared.len())
+        .map(|i| {
+            (0..prepared.len())
+                .filter(|&j| {
+                    j != i && vecmath::euclidean_distance(&prepared[i], &prepared[j]) <= radius
+                })
+                .count()
+        })
+        .collect()
+}
+
+/// Empirical CDF of integer counts: returns `(value, fraction ≤ value)`
+/// pairs in ascending order — the exact series plotted in Fig. 9.
+pub fn cdf_of_counts(counts: &[usize]) -> Vec<(usize, f64)> {
+    if counts.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out: Vec<(usize, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some((last_v, last_f)) if last_v == v => *last_f = frac,
+            _ => out.push((*v, frac)),
+        }
+    }
+    out
+}
+
+/// Expected number of layer-combination hypotheses a reconstruction
+/// attacker must discriminate between, given per-participant neighbour
+/// counts and the number of mixed layers: each of the `n` layers of a
+/// target's update could plausibly come from the target or any of its
+/// alter egos, giving `(neighbors + 1)^layers` combinations.
+pub fn reconstruction_hypotheses(neighbor_count: usize, layers: usize) -> f64 {
+    ((neighbor_count + 1) as f64).powi(layers as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_counts_basic_geometry() {
+        let gradients = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],  // close to #0
+            vec![10.0, 0.0], // far from both
+        ];
+        let counts = neighbor_counts(&gradients, 0.5, false);
+        assert_eq!(counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn radius_zero_counts_exact_duplicates_only() {
+        let gradients = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let counts = neighbor_counts(&gradients, 0.0, false);
+        assert_eq!(counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn normalization_ignores_scale() {
+        let gradients = vec![vec![1.0, 0.0], vec![100.0, 0.0]];
+        assert_eq!(neighbor_counts(&gradients, 0.5, false), vec![0, 0]);
+        assert_eq!(neighbor_counts(&gradients, 0.5, true), vec![1, 1]);
+    }
+
+    #[test]
+    fn zero_vector_survives_normalization() {
+        let gradients = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let counts = neighbor_counts(&gradients, 0.5, true);
+        assert_eq!(counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let counts = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let cdf = cdf_of_counts(&counts);
+        assert!(cdf.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_merges_duplicate_values() {
+        let cdf = cdf_of_counts(&[2, 2, 2]);
+        assert_eq!(cdf, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(cdf_of_counts(&[]).is_empty());
+    }
+
+    #[test]
+    fn hypothesis_count_grows_with_layers() {
+        assert_eq!(reconstruction_hypotheses(0, 5), 1.0);
+        assert_eq!(reconstruction_hypotheses(1, 2), 4.0);
+        assert!(reconstruction_hypotheses(3, 5) > reconstruction_hypotheses(3, 4));
+    }
+}

@@ -1,0 +1,66 @@
+//! Crypto primitive costs backing the §6.5 "decryption dominates" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mixnn_crypto::chacha20;
+use mixnn_crypto::hmac::hmac_sha256;
+use mixnn_crypto::sha256;
+use mixnn_crypto::x25519;
+use mixnn_crypto::{KeyPair, SealedBox};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/primitives");
+    configure(&mut group);
+    let data = vec![0xa5u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256/64KiB", |b| b.iter(|| sha256::digest(&data)));
+    group.bench_function("hmac_sha256/64KiB", |b| {
+        b.iter(|| hmac_sha256(b"key", &data))
+    });
+    group.bench_function("chacha20/64KiB", |b| {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let mut buf = data.clone();
+        b.iter(|| chacha20::xor_keystream(&key, &nonce, 0, &mut buf));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("crypto/x25519");
+    configure(&mut group);
+    group.bench_function("scalarmult", |b| {
+        let scalar = [0x42u8; 32];
+        b.iter(|| x25519::x25519(&scalar, &x25519::BASEPOINT));
+    });
+    group.finish();
+}
+
+fn bench_sealed_box(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/sealed_box");
+    configure(&mut group);
+    let mut rng = StdRng::seed_from_u64(0);
+    let recipient = KeyPair::generate(&mut rng);
+    for &size in &[1024usize, 128 * 1024, 1024 * 1024] {
+        let message = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &size, |b, _| {
+            b.iter(|| SealedBox::seal(&message, recipient.public(), &mut rng));
+        });
+        let sealed = SealedBox::seal(&message, recipient.public(), &mut rng);
+        group.bench_with_input(BenchmarkId::new("open", size), &size, |b, _| {
+            b.iter(|| SealedBox::open(&sealed, &recipient).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_sealed_box);
+criterion_main!(benches);

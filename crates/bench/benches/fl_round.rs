@@ -1,0 +1,39 @@
+//! Fig 5-adjacent bench: one full federated round under each defense.
+//!
+//! The headline number here is the *overhead of MixNN relative to classic
+//! FL*, which the paper argues is negligible next to the round's training
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixnn_bench::{DatasetKind, Defense, ExperimentScale, ExperimentSetup};
+use mixnn_fl::FlSimulation;
+use std::time::Duration;
+
+fn bench_round(c: &mut Criterion) {
+    let setup = ExperimentSetup::at_scale(DatasetKind::MotionSense, ExperimentScale::Quick, 5);
+    let population = setup.spec.generate().unwrap();
+
+    let mut group = c.benchmark_group("fl/round");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for defense in Defense::lineup(setup.noise_sigma) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(defense.label()),
+            &defense,
+            |b, defense| {
+                b.iter(|| {
+                    let mut sim =
+                        FlSimulation::new(setup.template(), setup.fl, &population);
+                    let mut transport = defense.make_transport(setup.fl.seed);
+                    sim.run_round(transport.as_mut()).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! ∇Sim cost bench: fitting attack models and scoring observed updates
+//! (fig7/fig8-adjacent micro benchmarks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixnn_attacks::{GradSim, GradSimConfig};
+use mixnn_bench::{DatasetKind, ExperimentScale, ExperimentSetup};
+use mixnn_fl::FlConfig;
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn bench_fit_and_score(c: &mut Criterion) {
+    let setup = ExperimentSetup::at_scale(DatasetKind::MotionSense, ExperimentScale::Quick, 3);
+    let population = setup.spec.generate().unwrap();
+    let template = setup.template();
+    let base = template.params();
+    let background: Vec<(usize, mixnn_data::Dataset)> = (0..2)
+        .map(|attr| {
+            let ids: Vec<usize> = population
+                .participants()
+                .iter()
+                .filter(|p| p.attribute() == attr)
+                .map(|p| p.id())
+                .collect();
+            (attr, population.pooled_train_data(&ids).unwrap())
+        })
+        .collect();
+    let fl_cfg = FlConfig {
+        batch_size: 32,
+        ..FlConfig::default()
+    };
+
+    let mut group = c.benchmark_group("gradsim");
+    configure(&mut group);
+    for &epochs in &[1usize, 5] {
+        group.bench_with_input(BenchmarkId::new("fit", epochs), &epochs, |b, &epochs| {
+            let cfg = GradSimConfig {
+                attack_epochs: epochs,
+                ..GradSimConfig::default()
+            };
+            b.iter(|| GradSim::fit(&template, &base, &background, &fl_cfg, &cfg).unwrap());
+        });
+    }
+
+    let cfg = GradSimConfig {
+        attack_epochs: 1,
+        ..GradSimConfig::default()
+    };
+    let attack = GradSim::fit(&template, &base, &background, &fl_cfg, &cfg).unwrap();
+    let observed = base.perturbed(0.01, &mut rand::rngs::StdRng::seed_from_u64(1));
+    group.bench_function("score", |b| {
+        b.iter(|| attack.score(&observed).unwrap());
+    });
+    group.bench_function("equidistant_model", |b| {
+        b.iter(|| attack.equidistant_model());
+    });
+    group.finish();
+}
+
+use rand::SeedableRng;
+
+criterion_group!(benches, bench_fit_and_score);
+criterion_main!(benches);

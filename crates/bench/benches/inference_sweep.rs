@@ -1,0 +1,43 @@
+//! Fig 7/8-adjacent bench: one complete (quick-scale) ∇Sim inference
+//! experiment per defense, end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixnn_attacks::{AttackMode, InferenceExperiment};
+use mixnn_bench::{DatasetKind, Defense, ExperimentScale, ExperimentSetup};
+use std::time::Duration;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut setup = ExperimentSetup::at_scale(DatasetKind::Lfw, ExperimentScale::Quick, 7);
+    setup.fl.rounds = 2;
+    let population = setup.spec.generate().unwrap();
+
+    let mut group = c.benchmark_group("inference/experiment");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for defense in Defense::lineup(setup.noise_sigma) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(defense.label()),
+            &defense,
+            |b, defense| {
+                b.iter(|| {
+                    let experiment = InferenceExperiment::new(
+                        &population,
+                        setup.template(),
+                        setup.fl,
+                        setup.attack.clone(),
+                        AttackMode::Active,
+                        0.8,
+                    );
+                    let mut transport = defense.make_transport(setup.fl.seed);
+                    experiment.run(transport.as_mut()).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation bench: mixing strategies and plan constructions.
+//!
+//! Quantifies the design choices DESIGN.md calls out — Latin-rectangle vs
+//! independent permutations, batch vs streaming, and streaming list size k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixnn_core::{BatchMixer, MixPlan, StreamingMixer};
+use mixnn_nn::{LayerParams, ModelParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn updates(c: usize, layers: usize, scalars: usize) -> Vec<ModelParams> {
+    (0..c)
+        .map(|i| {
+            ModelParams::from_layers(
+                (0..layers)
+                    .map(|l| LayerParams::from_values(vec![(i * layers + l) as f32; scalars]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixing/plan");
+    configure(&mut group);
+    for &participants in &[20usize, 58] {
+        group.bench_with_input(
+            BenchmarkId::new("latin", participants),
+            &participants,
+            |b, &p| {
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| MixPlan::latin(p, 5, &mut rng).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("independent", participants),
+            &participants,
+            |b, &p| {
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| MixPlan::independent(p, 5, &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_vs_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixing/strategy");
+    configure(&mut group);
+    let ups = updates(20, 5, 2_000);
+
+    group.bench_function("batch/20x5x2000", |b| {
+        let mut mixer = BatchMixer::new(7);
+        b.iter(|| mixer.mix(&ups).unwrap());
+    });
+
+    for &k in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("streaming", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut mixer = StreamingMixer::new(ups[0].signature(), k, 9);
+                let mut out = Vec::new();
+                for u in ups.clone() {
+                    if let Some(m) = mixer.push(u).unwrap() {
+                        out.push(m);
+                    }
+                }
+                out.extend(mixer.flush());
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_construction, bench_batch_vs_streaming);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! §6.5 bench: the proxy pipeline stage costs (decrypt → store → mix) as a
+//! function of model size. The paper's claims to reproduce in shape:
+//! decryption dominates, mixing is cheap, cost grows with the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mixnn_core::{codec, MixingStrategy, MixnnProxy, MixnnProxyConfig};
+use mixnn_crypto::SealedBox;
+use mixnn_enclave::AttestationService;
+use mixnn_nn::{LayerParams, ModelParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A synthetic model update with `layers` layers of `scalars_per_layer`
+/// parameters each.
+fn update(layers: usize, scalars_per_layer: usize, seed: u64) -> ModelParams {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ModelParams::from_layers(
+        (0..layers)
+            .map(|_| {
+                LayerParams::from_values(
+                    (0..scalars_per_layer)
+                        .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn launch_proxy(signature: Vec<usize>, rng: &mut StdRng) -> MixnnProxy {
+    let service = AttestationService::new(rng);
+    MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Batch,
+            expected_signature: signature,
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        rng,
+    )
+}
+
+fn bench_decrypt_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy/decrypt_store");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    // Model sizes spanning the paper's 2conv vs 3conv growth story.
+    for &scalars in &[2_000usize, 20_000, 200_000] {
+        let layers = 5;
+        let params = update(layers, scalars / layers, 1);
+        let bytes = codec::encode_params(&params);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scalars),
+            &scalars,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut proxy = launch_proxy(params.signature(), &mut rng);
+                let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
+                b.iter(|| {
+                    proxy.submit_encrypted(&sealed).unwrap();
+                    // Drain so the buffer (and EPC accounting) stays flat.
+                    proxy.mix_batch().unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mix_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy/mix_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &clients in &[8usize, 20, 40] {
+        let updates: Vec<ModelParams> = (0..clients)
+            .map(|i| update(5, 4_000, i as u64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut proxy = launch_proxy(updates[0].signature(), &mut rng);
+                b.iter(|| proxy.mix_plaintext_round(updates.clone()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decrypt_store, bench_mix_only);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! One module per paper artifact. See the crate docs for the mapping.
+
+pub mod background;
+pub mod inference;
+pub mod robustness;
+pub mod sysperf;
+pub mod utility;
+pub mod utility_cdf;

@@ -1,0 +1,97 @@
+//! **Figure 9** — CDF over participants of the number of neighbours whose
+//! gradient lies within a small Euclidean radius.
+//!
+//! Expected shape (§6.4): every participant has at least a few close alter
+//! egos, so a malicious server enumerating combinations of mixed layers
+//! cannot tell which pieces belong together.
+
+use crate::ExperimentSetup;
+use mixnn_attacks::robustness::{cdf_of_counts, neighbor_counts};
+use mixnn_attacks::AttackError;
+use mixnn_fl::{DirectTransport, FlSimulation};
+
+/// One CDF point of Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of close neighbours.
+    pub neighbors: usize,
+    /// Fraction of participants with at most this many neighbours.
+    pub fraction: f64,
+}
+
+/// Runs the Fig. 9 analysis: train classic FL for `warmup_rounds`, then
+/// collect one round of raw updates and count, for each participant, how
+/// many others are within `radius` (on unit-normalized gradients; the
+/// normalization keeps the radius meaningful as gradients shrink, see
+/// `mixnn_attacks::robustness`).
+///
+/// # Errors
+///
+/// Propagates data-generation and FL failures.
+pub fn run(
+    setup: &ExperimentSetup,
+    warmup_rounds: usize,
+    radius: f32,
+) -> Result<(Vec<NeighborPoint>, Vec<usize>), AttackError> {
+    let population = setup.spec.generate()?;
+    let mut fl_cfg = setup.fl;
+    // All participants report this round so the neighbourhood statistics
+    // cover the population, as in the paper's figure.
+    fl_cfg.clients_per_round = population.len();
+    let mut sim = FlSimulation::new(setup.template(), fl_cfg, &population);
+    let mut transport = DirectTransport::new();
+    for _ in 0..warmup_rounds {
+        sim.run_round(&mut transport)?;
+    }
+    let global = sim.global().clone();
+    let outcome = sim.run_round(&mut transport)?;
+    let gradients: Vec<Vec<f32>> = outcome
+        .observed
+        .iter()
+        .map(|u| u.gradient_from(&global).expect("same architecture"))
+        .collect();
+    let counts = neighbor_counts(&gradients, radius, true);
+    let points = cdf_of_counts(&counts)
+        .into_iter()
+        .map(|(neighbors, fraction)| NeighborPoint {
+            dataset: setup.kind.name().to_string(),
+            neighbors,
+            fraction,
+        })
+        .collect();
+    Ok((points, counts))
+}
+
+/// Formats Fig. 9 points as table rows.
+pub fn rows(points: &[NeighborPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.clone(),
+                p.neighbors.to_string(),
+                format!("{:.3}", p.fraction),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, ExperimentScale};
+
+    #[test]
+    fn produces_valid_cdf() {
+        let setup = ExperimentSetup::at_scale(DatasetKind::MotionSense, ExperimentScale::Quick, 2);
+        let (points, counts) = run(&setup, 1, 0.5).unwrap();
+        assert_eq!(counts.len(), setup.spec.num_participants());
+        assert!(!points.is_empty());
+        assert!((points.last().unwrap().fraction - 1.0).abs() < 1e-9);
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].neighbors < w[1].neighbors && w[0].fraction <= w[1].fraction));
+    }
+}

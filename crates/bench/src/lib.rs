@@ -1,0 +1,31 @@
+//! Experiment harness regenerating **every** evaluation artifact of the
+//! MixNN paper: Figures 5–9 and the §6.5 system-performance numbers.
+//!
+//! Each experiment module produces printable row/series structures so the
+//! `eval` binary can emit the same curves the paper plots:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::utility`] | Fig. 5 — model accuracy vs learning round |
+//! | [`experiments::utility_cdf`] | Fig. 6 — CDF of per-participant accuracy |
+//! | [`experiments::inference`] | Fig. 7 — ∇Sim inference accuracy vs round |
+//! | [`experiments::background`] | Fig. 8 — inference vs background knowledge |
+//! | [`experiments::robustness`] | Fig. 9 — CDF of close-gradient neighbours |
+//! | [`experiments::sysperf`] | §6.5 — proxy cost and memory breakdown |
+//!
+//! Experiments come in two scales: `paper` (the §6.1.4 round/epoch/batch
+//! parameters) and `quick` (shrunk for smoke tests). Absolute numbers
+//! differ from the paper — the substrate is a synthetic simulator, not the
+//! authors' TensorFlow testbed — but the *shape* (who wins, by what
+//! factor, where curves flatten) is the reproduction target; see
+//! `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+
+pub mod configs;
+pub mod defense;
+pub mod experiments;
+pub mod report;
+
+pub use configs::{DatasetKind, ExperimentScale, ExperimentSetup};
+pub use defense::Defense;

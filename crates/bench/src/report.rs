@@ -1,0 +1,94 @@
+//! Plain-text table output for experiment results.
+
+/// Prints an aligned table to stdout: a header row followed by data rows.
+///
+/// # Panics
+///
+/// Panics if any row's arity differs from the header's — a harness bug.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row arity mismatch in table");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    println!("\n== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats an accuracy/fraction with three decimals.
+pub fn fmt3(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn fmt_ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1000.0)
+}
+
+/// Formats a byte count in MB with two decimals.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Mean of a non-empty f32 slice (0.0 for empty).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_ms(0.19), "190.00");
+        assert_eq!(fmt_mb(26_900_000), "25.65");
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn print_table_accepts_consistent_rows() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn print_table_rejects_ragged_rows() {
+        print_table("test", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Wire format for model updates.
+//!
+//! Participants serialize their per-layer parameter vectors with this codec
+//! before sealing them to the enclave; the proxy decodes inside the
+//! enclave. The format is versioned and explicitly little-endian:
+//!
+//! ```text
+//! magic   u32  = 0x4d49584e ("MIXN")
+//! version u8   = 1
+//! layers  u32
+//! repeat layers times:
+//!     len  u32
+//!     data len × f32 (LE)
+//! ```
+
+use crate::ProxyError;
+use bytes::{Buf, BufMut};
+use mixnn_nn::{LayerParams, ModelParams};
+
+/// Format magic: `"MIXN"` as a big-endian u32.
+pub const MAGIC: u32 = 0x4d49_584e;
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Serialized size in bytes for a model with the given layer signature.
+pub fn encoded_len(signature: &[usize]) -> usize {
+    4 + 1 + 4 + signature.iter().map(|l| 4 + 4 * l).sum::<usize>()
+}
+
+/// Encodes model parameters into the wire format.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_core::codec;
+/// use mixnn_nn::{LayerParams, ModelParams};
+///
+/// # fn main() -> Result<(), mixnn_core::ProxyError> {
+/// let params = ModelParams::from_layers(vec![LayerParams::from_values(vec![1.0, 2.0])]);
+/// let bytes = codec::encode_params(&params);
+/// assert_eq!(codec::decode_params(&bytes)?, params);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_params(params: &ModelParams) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(&params.signature()));
+    out.put_u32(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32(params.num_layers() as u32);
+    for layer in params.iter() {
+        out.put_u32(layer.len() as u32);
+        for &v in layer.values() {
+            out.put_f32_le(v);
+        }
+    }
+    out
+}
+
+/// Decodes model parameters from the wire format.
+///
+/// # Errors
+///
+/// Returns [`ProxyError::Codec`] on truncation, bad magic, unknown version
+/// or trailing garbage.
+pub fn decode_params(mut bytes: &[u8]) -> Result<ModelParams, ProxyError> {
+    let fail = |reason: &str| ProxyError::Codec {
+        reason: reason.to_string(),
+    };
+    if bytes.remaining() < 9 {
+        return Err(fail("header truncated"));
+    }
+    if bytes.get_u32() != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(ProxyError::Codec {
+            reason: format!("unsupported version {version}"),
+        });
+    }
+    let layer_count = bytes.get_u32() as usize;
+    // Sanity bound: each declared layer needs at least its length header.
+    if layer_count > bytes.remaining() / 4 + 1 {
+        return Err(fail("implausible layer count"));
+    }
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        if bytes.remaining() < 4 {
+            return Err(fail("layer header truncated"));
+        }
+        let len = bytes.get_u32() as usize;
+        if bytes.remaining() < 4 * len {
+            return Err(fail("layer data truncated"));
+        }
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(bytes.get_f32_le());
+        }
+        layers.push(LayerParams::from_values(values));
+    }
+    if bytes.has_remaining() {
+        return Err(fail("trailing bytes after last layer"));
+    }
+    Ok(ModelParams::from_layers(layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelParams {
+        ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![1.0, -2.5, 3.25]),
+            LayerParams::from_values(vec![0.0]),
+            LayerParams::from_values(vec![f32::MIN_POSITIVE, f32::MAX]),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_exact_bits() {
+        let p = sample();
+        let decoded = decode_params(&encode_params(&p)).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn encoded_len_matches_reality() {
+        let p = sample();
+        assert_eq!(encode_params(&p).len(), encoded_len(&p.signature()));
+    }
+
+    #[test]
+    fn empty_model_round_trips() {
+        let p = ModelParams::from_layers(vec![]);
+        assert_eq!(decode_params(&encode_params(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let bytes = encode_params(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_params(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = encode_params(&sample());
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            decode_params(&bytes),
+            Err(ProxyError::Codec { .. })
+        ));
+        let mut bytes = encode_params(&sample());
+        bytes[4] = 99; // version
+        let err = decode_params(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_params(&sample());
+        bytes.push(0);
+        let err = decode_params(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn nan_and_special_values_survive() {
+        let p = ModelParams::from_layers(vec![LayerParams::from_values(vec![
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+        ])]);
+        let d = decode_params(&encode_params(&p)).unwrap();
+        let v = d.layer(0).unwrap().values();
+        assert_eq!(v[0], f32::INFINITY);
+        assert_eq!(v[1], f32::NEG_INFINITY);
+        assert!(v[2] == 0.0 && v[2].is_sign_negative());
+    }
+}

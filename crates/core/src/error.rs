@@ -1,0 +1,98 @@
+use mixnn_enclave::EnclaveError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the MixNN proxy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyError {
+    /// The enclave rejected an operation (decryption failure, memory
+    /// exhaustion, …).
+    Enclave(EnclaveError),
+    /// An update could not be decoded from its wire format.
+    Codec {
+        /// Human-readable decode failure.
+        reason: String,
+    },
+    /// An update's layer signature does not match the model this proxy was
+    /// configured for.
+    SignatureMismatch {
+        /// Signature the proxy expects.
+        expected: Vec<usize>,
+        /// Signature observed in the update.
+        actual: Vec<usize>,
+    },
+    /// Batch mixing requires at least as many updates as configured
+    /// participants (the L = C assumption of §4.2).
+    InsufficientUpdates {
+        /// Updates available.
+        have: usize,
+        /// Updates required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Enclave(e) => write!(f, "enclave failure in proxy: {e}"),
+            ProxyError::Codec { reason } => write!(f, "malformed update on the wire: {reason}"),
+            ProxyError::SignatureMismatch { expected, actual } => write!(
+                f,
+                "update signature {actual:?} does not match proxy model {expected:?}"
+            ),
+            ProxyError::InsufficientUpdates { have, need } => {
+                write!(f, "batch mixing needs {need} updates, got {have}")
+            }
+        }
+    }
+}
+
+impl Error for ProxyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProxyError::Enclave(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnclaveError> for ProxyError {
+    fn from(e: EnclaveError) -> Self {
+        ProxyError::Enclave(e)
+    }
+}
+
+impl From<ProxyError> for mixnn_fl::FlError {
+    fn from(e: ProxyError) -> Self {
+        mixnn_fl::FlError::Transport {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_error_converts_with_source() {
+        let e: ProxyError = EnclaveError::MeasurementMismatch.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn converts_to_fl_transport_error() {
+        let e = ProxyError::Codec {
+            reason: "truncated".to_string(),
+        };
+        let fl: mixnn_fl::FlError = e.into();
+        assert!(matches!(fl, mixnn_fl::FlError::Transport { .. }));
+        assert!(fl.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProxyError>();
+    }
+}

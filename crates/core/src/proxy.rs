@@ -1,0 +1,520 @@
+//! The deployed MixNN proxy.
+
+use crate::mixer::check_common_signature;
+use crate::{codec, BatchMixer, MixPlan, MixingStrategy, ProxyError, StreamingMixer};
+use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
+use mixnn_crypto::PublicKey;
+use mixnn_nn::ModelParams;
+use rand::Rng;
+use std::time::Instant;
+
+/// Configuration of a MixNN proxy instance.
+#[derive(Debug, Clone)]
+pub struct MixnnProxyConfig {
+    /// Mixing strategy (batch by default, matching the paper's formal
+    /// model).
+    pub strategy: MixingStrategy,
+    /// Layer signature of the model being proxied. Empty = adopt the
+    /// signature of the first update received (§4.3 notes the memory
+    /// allocation "according to the considered neural network models [is]
+    /// initialized at the creation of the enclave"; pre-configuring the
+    /// signature is the faithful mode, inference is a convenience).
+    pub expected_signature: Vec<usize>,
+    /// Enclave settings (EPC limit, code identity).
+    pub enclave: EnclaveConfig,
+    /// RNG seed for mixing decisions inside the enclave.
+    pub seed: u64,
+}
+
+impl Default for MixnnProxyConfig {
+    fn default() -> Self {
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Batch,
+            expected_signature: Vec::new(),
+            enclave: EnclaveConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// §6.5-style cost accounting for the proxy pipeline.
+///
+/// The paper reports per-update decryption (0.17 s), storage (0.02 s) and
+/// mixing (0.03 s) times for its models; these counters regenerate that
+/// breakdown for ours.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProxyStats {
+    /// Encrypted updates received.
+    pub updates_received: u64,
+    /// Mixed updates forwarded to the server.
+    pub updates_forwarded: u64,
+    /// Updates rejected (bad ciphertext, wrong signature).
+    pub updates_rejected: u64,
+    /// Ciphertext bytes received.
+    pub bytes_received: u64,
+    /// Total seconds spent decrypting.
+    pub decrypt_seconds: f64,
+    /// Total seconds spent decoding and storing into the layer lists.
+    pub store_seconds: f64,
+    /// Total seconds spent mixing.
+    pub mix_seconds: f64,
+}
+
+impl ProxyStats {
+    /// Mean per-update decryption time in seconds.
+    pub fn mean_decrypt_seconds(&self) -> f64 {
+        if self.updates_received == 0 {
+            0.0
+        } else {
+            self.decrypt_seconds / self.updates_received as f64
+        }
+    }
+
+    /// Mean per-update store time in seconds.
+    pub fn mean_store_seconds(&self) -> f64 {
+        if self.updates_received == 0 {
+            0.0
+        } else {
+            self.store_seconds / self.updates_received as f64
+        }
+    }
+
+    /// Mean per-forwarded-update mixing time in seconds.
+    pub fn mean_mix_seconds(&self) -> f64 {
+        if self.updates_forwarded == 0 {
+            0.0
+        } else {
+            self.mix_seconds / self.updates_forwarded as f64
+        }
+    }
+
+    /// Total per-update processing time (decrypt + store), §6.5's "0.19 s"
+    /// figure.
+    pub fn mean_process_seconds(&self) -> f64 {
+        self.mean_decrypt_seconds() + self.mean_store_seconds()
+    }
+}
+
+/// The MixNN proxy: an enclave-resident service that receives encrypted
+/// per-layer model updates, mixes layers across participants and forwards
+/// the mixed updates to the aggregation server.
+///
+/// See the crate docs for the privacy argument. The proxy's public surface
+/// mirrors a deployment: participants fetch [`MixnnProxy::quote`] and
+/// [`MixnnProxy::public_key`], verify, then submit sealed updates via
+/// [`MixnnProxy::submit_encrypted`]; the server-facing side emits mixed
+/// updates.
+#[derive(Debug)]
+pub struct MixnnProxy {
+    enclave: Enclave,
+    expected_measurement: Measurement,
+    strategy: MixingStrategy,
+    signature: Vec<usize>,
+    batch_buffer: Vec<ModelParams>,
+    batch_mixer: BatchMixer,
+    streaming: Option<StreamingMixer>,
+    last_plan: Option<MixPlan>,
+    stats: ProxyStats,
+}
+
+impl MixnnProxy {
+    /// Launches the proxy inside a fresh enclave and obtains its
+    /// attestation quote.
+    pub fn launch<R: Rng + ?Sized>(
+        config: MixnnProxyConfig,
+        attestation: &AttestationService,
+        rng: &mut R,
+    ) -> Self {
+        let expected_measurement = Enclave::expected_measurement(&config.enclave);
+        let enclave = Enclave::launch(config.enclave, attestation, rng);
+        let streaming = match config.strategy {
+            MixingStrategy::Streaming { k } if !config.expected_signature.is_empty() => Some(
+                StreamingMixer::new(config.expected_signature.clone(), k, config.seed ^ 0x57),
+            ),
+            _ => None,
+        };
+        MixnnProxy {
+            enclave,
+            expected_measurement,
+            strategy: config.strategy,
+            signature: config.expected_signature,
+            batch_buffer: Vec::new(),
+            batch_mixer: BatchMixer::new(config.seed),
+            streaming,
+            last_plan: None,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// The enclave public key participants encrypt to (`k_pub`).
+    pub fn public_key(&self) -> &PublicKey {
+        self.enclave.public_key()
+    }
+
+    /// The enclave's attestation quote.
+    pub fn quote(&self) -> &Quote {
+        self.enclave.quote()
+    }
+
+    /// The configured mixing strategy.
+    pub fn strategy(&self) -> MixingStrategy {
+        self.strategy
+    }
+
+    /// Full participant-side verification: the quote is signed by the
+    /// platform, attests the expected code, and binds this proxy's public
+    /// key.
+    pub fn verify_against(&self, attestation: &AttestationService) -> bool {
+        attestation.verify_quote(self.quote(), &self.expected_measurement)
+            && self.enclave.quote_binds_key()
+    }
+
+    /// Cost statistics (the §6.5 numbers).
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// Enclave memory statistics (per-update consumption, high-water mark).
+    pub fn memory_stats(&self) -> mixnn_enclave::MemoryStats {
+        self.enclave.memory().stats()
+    }
+
+    /// The mixing plan of the most recent batch round, for experiments and
+    /// audits (never exposed in a deployment).
+    pub fn last_plan(&self) -> Option<&MixPlan> {
+        self.last_plan.as_ref()
+    }
+
+    /// Updates currently buffered inside the enclave.
+    pub fn buffered(&self) -> usize {
+        match (&self.streaming, self.strategy) {
+            (Some(s), _) => s.buffered(),
+            (None, _) => self.batch_buffer.len(),
+        }
+    }
+
+    fn check_signature(&mut self, params: &ModelParams) -> Result<(), ProxyError> {
+        if self.signature.is_empty() {
+            self.signature = params.signature();
+            if let MixingStrategy::Streaming { k } = self.strategy {
+                self.streaming = Some(StreamingMixer::new(
+                    self.signature.clone(),
+                    k,
+                    self.batch_mixer_seed(),
+                ));
+            }
+            return Ok(());
+        }
+        if params.signature() != self.signature {
+            return Err(ProxyError::SignatureMismatch {
+                expected: self.signature.clone(),
+                actual: params.signature(),
+            });
+        }
+        Ok(())
+    }
+
+    fn batch_mixer_seed(&self) -> u64 {
+        // Derive the streaming seed deterministically from the proxy's own
+        // mixer so late-bound signatures stay reproducible.
+        0x57_u64
+    }
+
+    /// Ingests one encrypted update. In batch mode it is buffered until
+    /// [`MixnnProxy::mix_batch`]; in streaming mode a mixed update may be
+    /// emitted immediately.
+    ///
+    /// The plaintext is charged against the enclave's EPC budget while
+    /// buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Enclave`] for decryption/memory failures,
+    /// [`ProxyError::Codec`] for malformed plaintext and
+    /// [`ProxyError::SignatureMismatch`] for foreign models. Rejected
+    /// updates are counted and leave the proxy state unchanged.
+    pub fn submit_encrypted(&mut self, sealed: &[u8]) -> Result<Option<ModelParams>, ProxyError> {
+        let result = self.submit_encrypted_inner(sealed);
+        if result.is_err() {
+            self.stats.updates_rejected += 1;
+        }
+        result
+    }
+
+    fn submit_encrypted_inner(
+        &mut self,
+        sealed: &[u8],
+    ) -> Result<Option<ModelParams>, ProxyError> {
+        self.stats.bytes_received += sealed.len() as u64;
+
+        let t0 = Instant::now();
+        let plaintext = self.enclave.decrypt(sealed)?;
+        self.stats.decrypt_seconds += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let params = codec::decode_params(&plaintext)?;
+        self.check_signature(&params)?;
+        // Charge the decoded update against the EPC while it sits in a
+        // list (4 bytes per scalar, as in §6.5's per-update footprint).
+        let footprint = params.total_len() * std::mem::size_of::<f32>();
+        self.enclave.memory_mut().allocate(footprint)?;
+        let emitted = match (&mut self.streaming, self.strategy) {
+            (Some(streaming), _) => {
+                let out = streaming.push(params)?;
+                if out.is_some() {
+                    // One update left the lists for every one that entered.
+                    self.enclave.memory_mut().free(footprint)?;
+                }
+                out
+            }
+            (None, _) => {
+                self.batch_buffer.push(params);
+                None
+            }
+        };
+        self.stats.store_seconds += t1.elapsed().as_secs_f64();
+        self.stats.updates_received += 1;
+
+        if let Some(out) = emitted {
+            self.stats.updates_forwarded += 1;
+            Ok(Some(out))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Batch mode: mixes everything buffered and returns the mixed updates
+    /// in slot order, freeing the enclave memory they occupied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::InsufficientUpdates`] if nothing is buffered.
+    pub fn mix_batch(&mut self) -> Result<Vec<ModelParams>, ProxyError> {
+        let t0 = Instant::now();
+        let updates = std::mem::take(&mut self.batch_buffer);
+        let result = self.batch_mixer.mix(&updates);
+        match result {
+            Ok((mixed, plan)) => {
+                let footprint: usize = updates
+                    .iter()
+                    .map(|u| u.total_len() * std::mem::size_of::<f32>())
+                    .sum();
+                self.enclave.memory_mut().free(footprint)?;
+                self.stats.mix_seconds += t0.elapsed().as_secs_f64();
+                self.stats.updates_forwarded += mixed.len() as u64;
+                self.last_plan = Some(plan);
+                Ok(mixed)
+            }
+            Err(e) => {
+                // Restore the buffer on failure.
+                self.batch_buffer = updates;
+                Err(e)
+            }
+        }
+    }
+
+    /// Streaming mode: drains the lists at shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Enclave`] if the memory accounting
+    /// underflows (a proxy bug, surfaced rather than hidden).
+    pub fn flush(&mut self) -> Result<Vec<ModelParams>, ProxyError> {
+        match &mut self.streaming {
+            Some(streaming) => {
+                let out = streaming.flush();
+                let footprint: usize = out
+                    .iter()
+                    .map(|u| u.total_len() * std::mem::size_of::<f32>())
+                    .sum();
+                self.enclave.memory_mut().free(footprint)?;
+                self.stats.updates_forwarded += out.len() as u64;
+                Ok(out)
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// The whole batch path without transport encryption: validate, mix,
+    /// account. Used by the plaintext transport mode for large sweeps where
+    /// per-update sealing would dominate runtime without affecting the
+    /// experiment (encryption never changes the mixing semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MixnnProxy::mix_batch`].
+    pub fn mix_plaintext_round(
+        &mut self,
+        updates: Vec<ModelParams>,
+    ) -> Result<Vec<ModelParams>, ProxyError> {
+        check_common_signature(&updates)?;
+        for u in &updates {
+            self.check_signature(u)?;
+            self.stats.updates_received += 1;
+        }
+        let t0 = Instant::now();
+        let (mixed, plan) = self.batch_mixer.mix(&updates)?;
+        self.stats.mix_seconds += t0.elapsed().as_secs_f64();
+        self.stats.updates_forwarded += mixed.len() as u64;
+        self.last_plan = Some(plan);
+        Ok(mixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixnn_crypto::SealedBox;
+    use mixnn_nn::LayerParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(i: usize) -> ModelParams {
+        ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![i as f32; 3]),
+            LayerParams::from_values(vec![(i * 10) as f32; 2]),
+        ])
+    }
+
+    fn launch(strategy: MixingStrategy) -> (MixnnProxy, AttestationService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let service = AttestationService::new(&mut rng);
+        let config = MixnnProxyConfig {
+            strategy,
+            expected_signature: vec![3, 2],
+            seed: 11,
+            ..MixnnProxyConfig::default()
+        };
+        let proxy = MixnnProxy::launch(config, &service, &mut rng);
+        (proxy, service, rng)
+    }
+
+    fn seal(proxy: &MixnnProxy, p: &ModelParams, rng: &mut StdRng) -> Vec<u8> {
+        SealedBox::seal(&codec::encode_params(p), proxy.public_key(), rng)
+    }
+
+    #[test]
+    fn launch_produces_verifiable_proxy() {
+        let (proxy, service, _) = launch(MixingStrategy::Batch);
+        assert!(proxy.verify_against(&service));
+    }
+
+    #[test]
+    fn batch_pipeline_end_to_end() {
+        let (mut proxy, _, mut rng) = launch(MixingStrategy::Batch);
+        let originals: Vec<ModelParams> = (0..5).map(params).collect();
+        for p in &originals {
+            let sealed = seal(&proxy, p, &mut rng);
+            assert!(proxy.submit_encrypted(&sealed).unwrap().is_none());
+        }
+        assert_eq!(proxy.buffered(), 5);
+        let mixed = proxy.mix_batch().unwrap();
+        assert_eq!(mixed.len(), 5);
+        assert_eq!(ModelParams::mean(&originals), ModelParams::mean(&mixed));
+        // Memory was charged and released.
+        assert_eq!(proxy.memory_stats().allocated, 0);
+        assert!(proxy.memory_stats().high_water >= 5 * 5 * 4);
+        let stats = proxy.stats();
+        assert_eq!(stats.updates_received, 5);
+        assert_eq!(stats.updates_forwarded, 5);
+        assert!(stats.decrypt_seconds > 0.0);
+    }
+
+    #[test]
+    fn streaming_pipeline_emits_after_warmup() {
+        let (mut proxy, _, mut rng) = launch(MixingStrategy::Streaming { k: 2 });
+        let mut emitted = 0;
+        for i in 0..6 {
+            let sealed = seal(&proxy, &params(i), &mut rng);
+            if proxy.submit_encrypted(&sealed).unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+        assert_eq!(emitted, 4);
+        let flushed = proxy.flush().unwrap();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(proxy.memory_stats().allocated, 0);
+    }
+
+    #[test]
+    fn garbage_ciphertext_is_rejected_and_counted() {
+        let (mut proxy, _, _) = launch(MixingStrategy::Batch);
+        assert!(proxy.submit_encrypted(&[0u8; 80]).is_err());
+        assert_eq!(proxy.stats().updates_rejected, 1);
+        assert_eq!(proxy.buffered(), 0);
+    }
+
+    #[test]
+    fn wrong_signature_is_rejected() {
+        let (mut proxy, _, mut rng) = launch(MixingStrategy::Batch);
+        let alien = ModelParams::from_layers(vec![LayerParams::from_values(vec![1.0])]);
+        let sealed = seal(&proxy, &alien, &mut rng);
+        assert!(matches!(
+            proxy.submit_encrypted(&sealed),
+            Err(ProxyError::SignatureMismatch { .. })
+        ));
+        // Rejected update must not leak memory.
+        assert_eq!(proxy.memory_stats().allocated, 0);
+    }
+
+    #[test]
+    fn empty_batch_mix_fails_cleanly() {
+        let (mut proxy, _, _) = launch(MixingStrategy::Batch);
+        assert!(matches!(
+            proxy.mix_batch(),
+            Err(ProxyError::InsufficientUpdates { .. })
+        ));
+    }
+
+    #[test]
+    fn signature_inference_from_first_update() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let service = AttestationService::new(&mut rng);
+        let mut proxy = MixnnProxy::launch(MixnnProxyConfig::default(), &service, &mut rng);
+        let sealed = seal(&proxy, &params(0), &mut rng);
+        proxy.submit_encrypted(&sealed).unwrap();
+        // Second update with a different signature is now rejected.
+        let alien = ModelParams::from_layers(vec![LayerParams::from_values(vec![1.0])]);
+        let sealed = seal(&proxy, &alien, &mut rng);
+        assert!(proxy.submit_encrypted(&sealed).is_err());
+    }
+
+    #[test]
+    fn plaintext_round_matches_batch_semantics() {
+        let (mut proxy, _, _) = launch(MixingStrategy::Batch);
+        let originals: Vec<ModelParams> = (0..6).map(params).collect();
+        let mixed = proxy.mix_plaintext_round(originals.clone()).unwrap();
+        assert_eq!(ModelParams::mean(&originals), ModelParams::mean(&mixed));
+        let plan = proxy.last_plan().unwrap();
+        assert!(plan.is_column_bijective());
+        assert!(plan.is_row_distinct());
+    }
+
+    #[test]
+    fn memory_exhaustion_propagates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let service = AttestationService::new(&mut rng);
+        let config = MixnnProxyConfig {
+            expected_signature: vec![3, 2],
+            enclave: mixnn_enclave::EnclaveConfig {
+                epc_limit: 30, // fits one 20-byte update + decrypt buffer, not three
+                ..Default::default()
+            },
+            ..MixnnProxyConfig::default()
+        };
+        let mut proxy = MixnnProxy::launch(config, &service, &mut rng);
+        let mut failures = 0;
+        for i in 0..3 {
+            let sealed = seal(&proxy, &params(i), &mut rng);
+            if matches!(
+                proxy.submit_encrypted(&sealed),
+                Err(ProxyError::Enclave(
+                    mixnn_enclave::EnclaveError::MemoryExhausted { .. }
+                ))
+            ) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "EPC limit was never enforced");
+    }
+}

@@ -1,0 +1,214 @@
+//! Plugging the proxy into the federated round loop.
+
+use crate::{codec, MixingStrategy, MixnnProxy, ProxyError};
+use mixnn_crypto::SealedBox;
+use mixnn_fl::{FlError, ModelUpdate, UpdateTransport};
+use mixnn_nn::ModelParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Whether the transport exercises the full cryptographic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Participants seal updates to the enclave key; the proxy decrypts
+    /// inside the enclave (full §4 pipeline — what the §6.5 benches
+    /// measure).
+    Encrypted,
+    /// Updates enter the proxy unencrypted. Mixing semantics are
+    /// identical; use for large parameter sweeps where sealing every
+    /// update would dominate runtime without affecting the result.
+    Plaintext,
+}
+
+/// An [`UpdateTransport`] that routes each round's updates through a
+/// [`MixnnProxy`].
+///
+/// The observed updates keep the **slot ids** of the incoming ones (the
+/// server still sees one connection per participant slot); their *contents*
+/// are the mixed updates. With batch mixing this is exactly the paper's
+/// deployment: the server receives C updates it cannot attribute.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_core::{MixnnProxy, MixnnProxyConfig, MixnnTransport, TransportMode};
+/// use mixnn_enclave::AttestationService;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let service = AttestationService::new(&mut rng);
+/// let proxy = MixnnProxy::launch(MixnnProxyConfig::default(), &service, &mut rng);
+/// let transport = MixnnTransport::new(proxy, TransportMode::Encrypted, 1);
+/// assert!(transport.proxy().stats().updates_received == 0);
+/// ```
+#[derive(Debug)]
+pub struct MixnnTransport {
+    proxy: MixnnProxy,
+    mode: TransportMode,
+    /// RNG standing in for the participants' sealing entropy.
+    participant_rng: StdRng,
+}
+
+impl MixnnTransport {
+    /// Wraps a launched proxy.
+    pub fn new(proxy: MixnnProxy, mode: TransportMode, seed: u64) -> Self {
+        MixnnTransport {
+            proxy,
+            mode,
+            participant_rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access to the proxy (stats, memory, last plan).
+    pub fn proxy(&self) -> &MixnnProxy {
+        &self.proxy
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> TransportMode {
+        self.mode
+    }
+
+    fn relay_inner(&mut self, updates: Vec<ModelUpdate>) -> Result<Vec<ModelUpdate>, ProxyError> {
+        let slot_ids: Vec<usize> = updates.iter().map(|u| u.client_id).collect();
+        let params: Vec<ModelParams> = updates.into_iter().map(|u| u.params).collect();
+
+        let mixed: Vec<ModelParams> = match self.mode {
+            TransportMode::Plaintext => self.proxy.mix_plaintext_round(params)?,
+            TransportMode::Encrypted => {
+                let mut streamed = Vec::new();
+                for p in &params {
+                    let bytes = codec::encode_params(p);
+                    let sealed =
+                        SealedBox::seal(&bytes, self.proxy.public_key(), &mut self.participant_rng);
+                    if let Some(out) = self.proxy.submit_encrypted(&sealed)? {
+                        streamed.push(out);
+                    }
+                }
+                match self.proxy.strategy() {
+                    MixingStrategy::Batch => self.proxy.mix_batch()?,
+                    MixingStrategy::Streaming { .. } => {
+                        // Within a round the proxy drains its lists so the
+                        // server aggregates exactly C updates (L = C).
+                        streamed.extend(self.proxy.flush()?);
+                        streamed
+                    }
+                }
+            }
+        };
+
+        Ok(slot_ids
+            .into_iter()
+            .zip(mixed)
+            .map(|(slot, params)| ModelUpdate::new(slot, params))
+            .collect())
+    }
+}
+
+impl UpdateTransport for MixnnTransport {
+    fn label(&self) -> &str {
+        "mixnn"
+    }
+
+    fn relay(&mut self, updates: Vec<ModelUpdate>) -> Result<Vec<ModelUpdate>, FlError> {
+        self.relay_inner(updates).map_err(FlError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MixnnProxyConfig;
+    use mixnn_enclave::AttestationService;
+    use mixnn_nn::LayerParams;
+
+    fn updates(c: usize) -> Vec<ModelUpdate> {
+        (0..c)
+            .map(|i| {
+                ModelUpdate::new(
+                    i,
+                    ModelParams::from_layers(vec![
+                        LayerParams::from_values(vec![i as f32; 2]),
+                        LayerParams::from_values(vec![-(i as f32); 3]),
+                    ]),
+                )
+            })
+            .collect()
+    }
+
+    fn transport(strategy: MixingStrategy, mode: TransportMode) -> MixnnTransport {
+        let mut rng = StdRng::seed_from_u64(5);
+        let service = AttestationService::new(&mut rng);
+        let proxy = MixnnProxy::launch(
+            MixnnProxyConfig {
+                strategy,
+                expected_signature: vec![2, 3],
+                seed: 3,
+                ..MixnnProxyConfig::default()
+            },
+            &service,
+            &mut rng,
+        );
+        MixnnTransport::new(proxy, mode, 77)
+    }
+
+    #[test]
+    fn encrypted_batch_preserves_aggregate_and_slots() {
+        let mut t = transport(MixingStrategy::Batch, TransportMode::Encrypted);
+        let ins = updates(6);
+        let outs = t.relay(ins.clone()).unwrap();
+        assert_eq!(outs.len(), 6);
+        // Slots preserved in order.
+        let in_slots: Vec<usize> = ins.iter().map(|u| u.client_id).collect();
+        let out_slots: Vec<usize> = outs.iter().map(|u| u.client_id).collect();
+        assert_eq!(in_slots, out_slots);
+        // Aggregate identical.
+        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
+        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
+        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+    }
+
+    #[test]
+    fn plaintext_mode_matches_aggregate_too() {
+        let mut t = transport(MixingStrategy::Batch, TransportMode::Plaintext);
+        let ins = updates(5);
+        let outs = t.relay(ins.clone()).unwrap();
+        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
+        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
+        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+    }
+
+    #[test]
+    fn streaming_round_conserves_count() {
+        let mut t = transport(
+            MixingStrategy::Streaming { k: 2 },
+            TransportMode::Encrypted,
+        );
+        let ins = updates(7);
+        let outs = t.relay(ins.clone()).unwrap();
+        assert_eq!(outs.len(), 7);
+        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
+        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
+        // Multiset conservation implies the mean is preserved.
+        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+    }
+
+    #[test]
+    fn updates_are_actually_mixed() {
+        let mut t = transport(MixingStrategy::Batch, TransportMode::Encrypted);
+        let ins = updates(8);
+        let outs = t.relay(ins.clone()).unwrap();
+        let changed = ins
+            .iter()
+            .zip(&outs)
+            .filter(|(a, b)| a.params != b.params)
+            .count();
+        assert!(changed > 0, "no update changed content after mixing");
+    }
+
+    #[test]
+    fn label_is_mixnn() {
+        let t = transport(MixingStrategy::Batch, TransportMode::Plaintext);
+        assert_eq!(t.label(), "mixnn");
+    }
+}

@@ -1,0 +1,202 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Encrypts the serialized model updates inside sealed boxes. ChaCha20 is
+//! the natural choice for the enclave setting: constant-time by
+//! construction (add–rotate–xor only) and fast in plain portable code.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+
+/// A ChaCha20 cipher instance for one (key, nonce) pair.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_crypto::chacha20::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut buf = *b"attack at dawn";
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+/// assert_ne!(&buf, b"attack at dawn");
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+/// assert_eq!(&buf, b"attack at dawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher with the given 256-bit key, 96-bit nonce and
+    /// initial block counter.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                key[i * 4],
+                key[i * 4 + 1],
+                key[i * 4 + 2],
+                key[i * 4 + 3],
+            ]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 { state }
+    }
+
+    #[inline(always)]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// Produces the 64-byte keystream block for the current counter and
+    /// advances the counter.
+    fn next_block(&mut self) -> [u8; 64] {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encryption and decryption
+    /// are the same operation).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let block = self.next_block();
+            for (byte, &k) in chunk.iter_mut().zip(block.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+}
+
+/// One-shot convenience: XORs the ChaCha20 keystream (counter starting at
+/// `counter`) into `data`.
+pub fn xor_keystream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    ChaCha20::new(key, nonce, counter).apply_keystream(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.split_whitespace().collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.3.2: the keystream block test vector.
+    #[test]
+    fn rfc8439_block_function() {
+        let key: [u8; 32] = (0..32u8).collect::<Vec<_>>().try_into().unwrap();
+        let nonce_bytes = unhex("000000090000004a00000000");
+        let nonce: [u8; 12] = nonce_bytes.try_into().unwrap();
+        let mut cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.next_block();
+        let expected = unhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e \
+             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    /// RFC 8439 §2.4.2: the "Ladies and Gentlemen" encryption vector.
+    #[test]
+    fn rfc8439_encryption() {
+        let key: [u8; 32] = (0..32u8).collect::<Vec<_>>().try_into().unwrap();
+        let nonce_bytes = unhex("000000000000004a00000000");
+        let nonce: [u8; 12] = nonce_bytes.try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_keystream(&key, &nonce, 1, &mut data);
+        let expected = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b \
+             f91b65c5524733ab8f593dabcd62b357 1639d624e65152ab8f530c359f0861d8 \
+             07ca0dbf500d6a6156a38e088a22b65e 52bc514d16ccf806818ce91ab7793736 \
+             5af90bbf74a35be6b40b8eedf2785e42 874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut buf = original.clone();
+            xor_keystream(&key, &nonce, 0, &mut buf);
+            if len > 0 {
+                assert_ne!(buf, original, "len {len} did not change");
+            }
+            xor_keystream(&key, &nonce, 0, &mut buf);
+            assert_eq!(buf, original, "len {len} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn different_nonce_gives_different_keystream() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_keystream(&key, &[0u8; 12], 0, &mut a);
+        xor_keystream(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // Applying to 128 bytes at once must equal two 64-byte applications
+        // with counters 0 and 1.
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let mut whole = vec![0u8; 128];
+        xor_keystream(&key, &nonce, 0, &mut whole);
+        let mut first = vec![0u8; 64];
+        let mut second = vec![0u8; 64];
+        xor_keystream(&key, &nonce, 0, &mut first);
+        xor_keystream(&key, &nonce, 1, &mut second);
+        assert_eq!(&whole[..64], &first[..]);
+        assert_eq!(&whole[64..], &second[..]);
+    }
+}

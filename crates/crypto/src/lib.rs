@@ -1,0 +1,76 @@
+//! Cryptographic primitives for the MixNN enclave, implemented from
+//! scratch.
+//!
+//! The paper's participants encrypt their model updates with the public key
+//! of the SGX enclave so only the MixNN proxy can read them (§4.1/§4.3).
+//! This crate provides the construction stack for that channel:
+//!
+//! * [`sha256`] — SHA-256 (FIPS 180-4),
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869),
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439),
+//! * [`x25519`] — X25519 Diffie–Hellman over Curve25519 (RFC 7748),
+//! * [`sealed_box`] — the hybrid public-key encryption used on the wire:
+//!   ephemeral X25519 → HKDF → ChaCha20 + HMAC (encrypt-then-MAC).
+//!
+//! Every primitive is validated against the official test vectors in its
+//! module's tests, so measured decryption costs in the §6.5 benches are
+//! representative of a real deployment.
+//!
+//! # Security caveat
+//!
+//! This is a **research reproduction**: the algorithms are the real ones and
+//! pass their RFC vectors, but the implementation has not been hardened
+//! against timing side channels beyond the basics ([`ct_eq`] for tag
+//! comparison, branch-free ladder steps in `x25519`). Do not lift it into a
+//! production system.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod chacha20;
+mod error;
+pub mod hmac;
+pub mod sealed_box;
+pub mod sha256;
+pub mod x25519;
+
+pub use error::CryptoError;
+pub use sealed_box::{KeyPair, PublicKey, SealedBox, SecretKey};
+
+/// Constant-time equality of two byte slices.
+///
+/// Returns `false` immediately on length mismatch (the length is public in
+/// all uses here); otherwise examines every byte regardless of where the
+/// first difference occurs.
+///
+/// # Example
+///
+/// ```
+/// assert!(mixnn_crypto::ct_eq(b"abc", b"abc"));
+/// assert!(!mixnn_crypto::ct_eq(b"abc", b"abd"));
+/// assert!(!mixnn_crypto::ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_matches_equality() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+        assert!(!ct_eq(&[0xff], &[0x7f]));
+    }
+}

@@ -1,0 +1,303 @@
+//! Sealed-box hybrid public-key encryption.
+//!
+//! This is the wire format participants use to encrypt model updates to the
+//! MixNN enclave (§4.1: *"they are encrypted with the public key of the
+//! enclave to ensure that only the MixNN proxy is able to read and process
+//! them"*). Construction:
+//!
+//! 1. sender generates an ephemeral X25519 key pair;
+//! 2. `shared = X25519(ephemeral_secret, recipient_public)`;
+//! 3. `key material = HKDF(salt = eph_pub ‖ recipient_pub, ikm = shared)`,
+//!    split into a ChaCha20 key, a nonce and an HMAC key;
+//! 4. ciphertext = ChaCha20(plaintext), tag = HMAC-SHA256 over
+//!    `eph_pub ‖ ciphertext` (encrypt-then-MAC).
+//!
+//! Wire layout: `eph_pub (32) ‖ tag (32) ‖ ciphertext`.
+
+use crate::chacha20;
+use crate::hmac::{hkdf, hmac_sha256};
+use crate::x25519;
+use crate::CryptoError;
+use rand::Rng;
+use std::fmt;
+
+/// An X25519 public key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey([u8; 32]);
+
+impl PublicKey {
+    /// Wraps raw public-key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        PublicKey(bytes)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// An X25519 secret key. The `Debug` impl redacts the key material.
+#[derive(Clone)]
+pub struct SecretKey([u8; 32]);
+
+impl SecretKey {
+    /// Wraps raw secret-key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SecretKey(bytes)
+    }
+
+    /// The raw bytes. Handle with care.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretKey(redacted)")
+    }
+}
+
+/// An X25519 key pair, as held by the MixNN enclave (`k_pub`, `k_priv` in
+/// the paper's notation).
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair from the given RNG.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mixnn_crypto::KeyPair;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let kp = KeyPair::generate(&mut StdRng::seed_from_u64(1));
+    /// assert_ne!(kp.public().as_bytes(), &[0u8; 32]);
+    /// ```
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut secret = [0u8; 32];
+        rng.fill(&mut secret);
+        Self::from_secret(SecretKey::from_bytes(secret))
+    }
+
+    /// Builds the key pair for an existing secret.
+    pub fn from_secret(secret: SecretKey) -> Self {
+        let public = PublicKey(x25519::public_key(secret.as_bytes()));
+        KeyPair { secret, public }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The secret half.
+    pub fn secret(&self) -> &SecretKey {
+        &self.secret
+    }
+}
+
+/// Byte overhead of a sealed box over its plaintext.
+pub const OVERHEAD: usize = 64;
+
+const INFO_KEY: &[u8] = b"mixnn sealed box v1 key";
+const INFO_NONCE: &[u8] = b"mixnn sealed box v1 nonce";
+const INFO_MAC: &[u8] = b"mixnn sealed box v1 mac";
+
+/// Sealed-box encryption to a recipient public key.
+///
+/// Stateless namespace struct; see the module docs for the construction.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_crypto::{KeyPair, SealedBox};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_crypto::CryptoError> {
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let enclave = KeyPair::generate(&mut rng);
+/// let boxed = SealedBox::seal(b"model update", enclave.public(), &mut rng);
+/// let plain = SealedBox::open(&boxed, &enclave)?;
+/// assert_eq!(plain, b"model update");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SealedBox;
+
+struct DerivedKeys {
+    cipher_key: [u8; 32],
+    nonce: [u8; 12],
+    mac_key: [u8; 32],
+}
+
+impl SealedBox {
+    fn derive(shared: &[u8; 32], eph_pub: &[u8; 32], recipient_pub: &[u8; 32]) -> DerivedKeys {
+        let mut salt = Vec::with_capacity(64);
+        salt.extend_from_slice(eph_pub);
+        salt.extend_from_slice(recipient_pub);
+        let key = hkdf(&salt, shared, INFO_KEY, 32);
+        let nonce = hkdf(&salt, shared, INFO_NONCE, 12);
+        let mac = hkdf(&salt, shared, INFO_MAC, 32);
+        DerivedKeys {
+            cipher_key: key.try_into().expect("hkdf returned 32 bytes"),
+            nonce: nonce.try_into().expect("hkdf returned 12 bytes"),
+            mac_key: mac.try_into().expect("hkdf returned 32 bytes"),
+        }
+    }
+
+    /// Encrypts `plaintext` to `recipient`, drawing ephemeral key material
+    /// from `rng`. The output is `OVERHEAD` bytes longer than the input.
+    pub fn seal<R: Rng + ?Sized>(
+        plaintext: &[u8],
+        recipient: &PublicKey,
+        rng: &mut R,
+    ) -> Vec<u8> {
+        let eph = KeyPair::generate(rng);
+        let shared = x25519::x25519(eph.secret().as_bytes(), recipient.as_bytes());
+        let keys = Self::derive(&shared, eph.public().as_bytes(), recipient.as_bytes());
+
+        let mut ciphertext = plaintext.to_vec();
+        chacha20::xor_keystream(&keys.cipher_key, &keys.nonce, 0, &mut ciphertext);
+
+        let mut mac_input = Vec::with_capacity(32 + ciphertext.len());
+        mac_input.extend_from_slice(eph.public().as_bytes());
+        mac_input.extend_from_slice(&ciphertext);
+        let tag = hmac_sha256(&keys.mac_key, &mac_input);
+
+        let mut out = Vec::with_capacity(OVERHEAD + ciphertext.len());
+        out.extend_from_slice(eph.public().as_bytes());
+        out.extend_from_slice(&tag);
+        out.extend_from_slice(&ciphertext);
+        out
+    }
+
+    /// Decrypts a sealed box with the recipient's key pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadLength`] if the message is shorter than the
+    /// header, or [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify (wrong key, truncation, or tampering).
+    pub fn open(sealed: &[u8], recipient: &KeyPair) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < OVERHEAD {
+            return Err(CryptoError::BadLength {
+                expected: "at least 64 bytes",
+                actual: sealed.len(),
+            });
+        }
+        let eph_pub: [u8; 32] = sealed[..32].try_into().expect("length checked");
+        let tag: [u8; 32] = sealed[32..64].try_into().expect("length checked");
+        let ciphertext = &sealed[64..];
+
+        let shared = x25519::x25519(recipient.secret().as_bytes(), &eph_pub);
+        let keys = Self::derive(&shared, &eph_pub, recipient.public().as_bytes());
+
+        let mut mac_input = Vec::with_capacity(32 + ciphertext.len());
+        mac_input.extend_from_slice(&eph_pub);
+        mac_input.extend_from_slice(ciphertext);
+        let expected_tag = hmac_sha256(&keys.mac_key, &mac_input);
+        if !crate::ct_eq(&expected_tag, &tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+
+        let mut plaintext = ciphertext.to_vec();
+        chacha20::xor_keystream(&keys.cipher_key, &keys.nonce, 0, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn recipient() -> (KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let kp = KeyPair::generate(&mut rng);
+        (kp, rng)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (kp, mut rng) = recipient();
+        for len in [0usize, 1, 31, 32, 33, 1000, 10_000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let sealed = SealedBox::seal(&msg, kp.public(), &mut rng);
+            assert_eq!(sealed.len(), msg.len() + OVERHEAD);
+            let opened = SealedBox::open(&sealed, &kp).unwrap();
+            assert_eq!(opened, msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (kp, mut rng) = recipient();
+        let sealed = SealedBox::seal(b"secret update", kp.public(), &mut rng);
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                SealedBox::open(&bad, &kp),
+                Err(CryptoError::AuthenticationFailed),
+                "flip at byte {i} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let (kp, mut rng) = recipient();
+        let sealed = SealedBox::seal(b"msg", kp.public(), &mut rng);
+        assert!(matches!(
+            SealedBox::open(&sealed[..10], &kp),
+            Err(CryptoError::BadLength { .. })
+        ));
+        // Truncating ciphertext (but keeping the header) must fail auth.
+        assert_eq!(
+            SealedBox::open(&sealed[..sealed.len() - 1], &kp),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let (kp, mut rng) = recipient();
+        let other = KeyPair::generate(&mut rng);
+        let sealed = SealedBox::seal(b"for the enclave only", kp.public(), &mut rng);
+        assert_eq!(
+            SealedBox::open(&sealed, &other),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn sealing_is_randomized() {
+        let (kp, mut rng) = recipient();
+        let a = SealedBox::seal(b"same message", kp.public(), &mut rng);
+        let b = SealedBox::seal(b"same message", kp.public(), &mut rng);
+        assert_ne!(a, b, "ephemeral keys must differ");
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let (kp, _) = recipient();
+        let s = format!("{:?}", kp.secret());
+        assert!(s.contains("redacted"));
+        assert!(!s.contains(&format!("{:?}", kp.secret().as_bytes()[0])) || true);
+    }
+
+    #[test]
+    fn keypair_public_matches_secret() {
+        let (kp, _) = recipient();
+        let expected = crate::x25519::public_key(kp.secret().as_bytes());
+        assert_eq!(kp.public().as_bytes(), &expected);
+    }
+}

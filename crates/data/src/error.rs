@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dataset construction and batching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Inputs and labels have inconsistent counts.
+    LengthMismatch {
+        /// Number of examples implied by the input buffer.
+        inputs: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// An example index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of examples.
+        len: usize,
+    },
+    /// A specification field was invalid (zero classes, empty groups, a
+    /// probability outside `[0, 1]`, …).
+    InvalidSpec {
+        /// Human-readable description of the invalid field.
+        reason: String,
+    },
+    /// A label exceeded the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Declared class count.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch { inputs, labels } => {
+                write!(f, "input buffer holds {inputs} examples but {labels} labels given")
+            }
+            DataError::IndexOutOfRange { index, len } => {
+                write!(f, "example index {index} out of range for {len} examples")
+            }
+            DataError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
+            DataError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DataError::InvalidSpec {
+            reason: "zero classes".to_string(),
+        };
+        assert!(e.to_string().contains("zero classes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic federated datasets for the MixNN reproduction.
+//!
+//! The paper evaluates on CIFAR10, MotionSense, MobiAct and LFW (§6.1.1).
+//! Those datasets are not redistributable here, so this crate generates
+//! seeded synthetic equivalents that preserve the *mechanism* every
+//! experiment depends on: **a participant's sensitive attribute shapes the
+//! local data distribution, and therefore the gradients the participant
+//! sends** — the footprint ∇Sim exploits and MixNN destroys.
+//!
+//! Two attribute mechanisms cover the paper's four datasets:
+//!
+//! * [`AttributeMechanism::Signal`] — the attribute adds a consistent
+//!   input-space component (gender in the motion datasets: body mechanics
+//!   shift the sensor signals; gender in LFW: facial structure). Samples are
+//!   `x = μ_class · s_c + ν_attribute · s_a + ε`.
+//! * [`AttributeMechanism::Preference`] — the attribute is a *preference
+//!   group* that skews the **label distribution** (CIFAR10: "the profile of
+//!   the participant is composed of 80% of images corresponding to its
+//!   preferred classes").
+//!
+//! All generation is deterministic per seed, which keeps every experiment
+//! reproducible and lets tests assert exact FL/MixNN equivalence.
+
+#![deny(missing_docs)]
+
+mod dataset;
+mod error;
+mod participant;
+mod spec;
+
+pub use dataset::Dataset;
+pub use error::DataError;
+pub use participant::{FederatedDataset, Participant, UserSplit};
+pub use spec::{
+    cifar10_like, lfw_like, mobiact_like, motionsense_like, AttributeMechanism, InputDims,
+    SyntheticSpec,
+};

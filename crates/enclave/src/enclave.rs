@@ -1,0 +1,239 @@
+//! The enclave runtime object.
+
+use crate::{
+    seal_data, unseal_data, AttestationService, EnclaveError, EpcBudget, Measurement, Quote,
+    SealingKey,
+};
+use mixnn_crypto::{KeyPair, PublicKey, SealedBox};
+use rand::Rng;
+
+/// Configuration of a simulated enclave.
+#[derive(Debug, Clone)]
+pub struct EnclaveConfig {
+    /// Canonical description of the code to be measured (MRENCLAVE input).
+    pub code_identity: Vec<u8>,
+    /// Usable EPC bytes. Defaults to the paper's 96 MiB.
+    pub epc_limit: usize,
+    /// Whether the enclave may page past the EPC limit (SGX2 dynamic
+    /// memory) instead of failing allocations.
+    pub allow_paging: bool,
+}
+
+impl Default for EnclaveConfig {
+    fn default() -> Self {
+        EnclaveConfig {
+            code_identity: b"mixnn proxy enclave v1".to_vec(),
+            epc_limit: crate::memory::DEFAULT_USABLE_EPC,
+            allow_paging: false,
+        }
+    }
+}
+
+/// A launched (simulated) SGX enclave: key pair, measurement, memory
+/// budget and sealing identity.
+///
+/// The MixNN proxy runs inside one of these. Participants verify the
+/// enclave's [`Quote`] (binding the code measurement to the enclave public
+/// key) before encrypting their model updates to it.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig};
+/// use mixnn_crypto::SealedBox;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_enclave::EnclaveError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let service = AttestationService::new(&mut rng);
+/// let mut enclave = Enclave::launch(EnclaveConfig::default(), &service, &mut rng);
+///
+/// // A participant verifies the quote, then encrypts to the enclave.
+/// let expected = Enclave::expected_measurement(&EnclaveConfig::default());
+/// assert!(service.verify_quote(enclave.quote(), &expected));
+/// let sealed = SealedBox::seal(b"update", enclave.public_key(), &mut rng);
+/// assert_eq!(enclave.decrypt(&sealed)?, b"update");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Enclave {
+    keypair: KeyPair,
+    measurement: Measurement,
+    quote: Quote,
+    memory: EpcBudget,
+    sealing_key: SealingKey,
+}
+
+impl Enclave {
+    /// Launches an enclave: measures the code, generates the key pair and
+    /// obtains a quote binding the public key to the measurement.
+    pub fn launch<R: Rng + ?Sized>(
+        config: EnclaveConfig,
+        attestation: &AttestationService,
+        rng: &mut R,
+    ) -> Self {
+        let measurement = Measurement::of_code(&config.code_identity);
+        let keypair = KeyPair::generate(rng);
+        // Bind the enclave's encryption key into the quote's report data so
+        // a man in the middle cannot substitute its own key.
+        let report_data = mixnn_crypto::sha256::digest(keypair.public().as_bytes());
+        let quote = attestation.issue_quote(measurement, &report_data);
+        let memory = if config.allow_paging {
+            EpcBudget::paging(config.epc_limit)
+        } else {
+            EpcBudget::strict(config.epc_limit)
+        };
+        Enclave {
+            keypair,
+            measurement,
+            quote,
+            memory,
+            sealing_key: SealingKey::generate(rng),
+        }
+    }
+
+    /// The measurement a verifier should expect for a given configuration.
+    pub fn expected_measurement(config: &EnclaveConfig) -> Measurement {
+        Measurement::of_code(&config.code_identity)
+    }
+
+    /// The enclave's public encryption key (`k_pub` in the paper).
+    pub fn public_key(&self) -> &PublicKey {
+        self.keypair.public()
+    }
+
+    /// The enclave's code measurement.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// The launch-time attestation quote (report data = SHA-256 of the
+    /// public key).
+    pub fn quote(&self) -> &Quote {
+        &self.quote
+    }
+
+    /// Verifies that this enclave's quote binds its own public key — the
+    /// check a participant performs before provisioning.
+    pub fn quote_binds_key(&self) -> bool {
+        self.quote.report_data() == mixnn_crypto::sha256::digest(self.keypair.public().as_bytes())
+    }
+
+    /// Memory accounting handle.
+    pub fn memory(&self) -> &EpcBudget {
+        &self.memory
+    }
+
+    /// Mutable memory accounting handle (the proxy charges its lists here).
+    pub fn memory_mut(&mut self) -> &mut EpcBudget {
+        &mut self.memory
+    }
+
+    /// Decrypts a sealed box addressed to the enclave, charging the
+    /// plaintext against the EPC budget for the duration of the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::MemoryExhausted`] if the plaintext does not
+    /// fit in the EPC (strict mode), or [`EnclaveError::Crypto`] if
+    /// decryption fails.
+    pub fn decrypt(&mut self, sealed: &[u8]) -> Result<Vec<u8>, EnclaveError> {
+        let plaintext_len = sealed.len().saturating_sub(mixnn_crypto::sealed_box::OVERHEAD);
+        self.memory.allocate(plaintext_len)?;
+        let result = SealedBox::open(sealed, &self.keypair);
+        // The transient decryption buffer is released either way.
+        self.memory.free(plaintext_len)?;
+        Ok(result?)
+    }
+
+    /// Seals `data` to this enclave's identity for storage outside the EPC.
+    pub fn seal<R: Rng + ?Sized>(&self, data: &[u8], rng: &mut R) -> Vec<u8> {
+        seal_data(&self.sealing_key, &self.measurement, data, rng)
+    }
+
+    /// Unseals data previously sealed by this enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::Crypto`] on authentication failure.
+    pub fn unseal(&self, sealed: &[u8]) -> Result<Vec<u8>, EnclaveError> {
+        unseal_data(&self.sealing_key, &self.measurement, sealed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn launch() -> (Enclave, AttestationService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let service = AttestationService::new(&mut rng);
+        let enclave = Enclave::launch(EnclaveConfig::default(), &service, &mut rng);
+        (enclave, service, rng)
+    }
+
+    #[test]
+    fn quote_verifies_against_expected_measurement() {
+        let (enclave, service, _) = launch();
+        let expected = Enclave::expected_measurement(&EnclaveConfig::default());
+        assert!(service.verify_quote(enclave.quote(), &expected));
+        assert!(enclave.quote_binds_key());
+    }
+
+    #[test]
+    fn different_code_gets_different_measurement() {
+        let (enclave, service, mut rng) = launch();
+        let evil_config = EnclaveConfig {
+            code_identity: b"evil proxy".to_vec(),
+            ..EnclaveConfig::default()
+        };
+        let evil = Enclave::launch(evil_config, &service, &mut rng);
+        let expected = Enclave::expected_measurement(&EnclaveConfig::default());
+        assert!(!service.verify_quote(evil.quote(), &expected));
+        let _ = enclave;
+    }
+
+    #[test]
+    fn decrypt_round_trip_and_memory_release() {
+        let (mut enclave, _, mut rng) = launch();
+        let sealed = SealedBox::seal(b"gradient bytes", enclave.public_key(), &mut rng);
+        let plain = enclave.decrypt(&sealed).unwrap();
+        assert_eq!(plain, b"gradient bytes");
+        // Transient buffer must be freed after decryption.
+        assert_eq!(enclave.memory().stats().allocated, 0);
+        assert!(enclave.memory().stats().high_water > 0);
+    }
+
+    #[test]
+    fn decrypt_rejects_oversized_updates_in_strict_mode() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let service = AttestationService::new(&mut rng);
+        let config = EnclaveConfig {
+            epc_limit: 16,
+            ..EnclaveConfig::default()
+        };
+        let mut enclave = Enclave::launch(config, &service, &mut rng);
+        let sealed = SealedBox::seal(&[0u8; 64], enclave.public_key(), &mut rng);
+        assert!(matches!(
+            enclave.decrypt(&sealed),
+            Err(EnclaveError::MemoryExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let (enclave, _, mut rng) = launch();
+        let sealed = enclave.seal(b"spilled layer list", &mut rng);
+        assert_eq!(enclave.unseal(&sealed).unwrap(), b"spilled layer list");
+    }
+
+    #[test]
+    fn garbage_ciphertext_fails_cleanly() {
+        let (mut enclave, _, _) = launch();
+        assert!(enclave.decrypt(&[0u8; 100]).is_err());
+        assert_eq!(enclave.memory().stats().allocated, 0);
+    }
+}

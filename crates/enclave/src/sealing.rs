@@ -1,0 +1,176 @@
+//! Data sealing (simulated SGX sealing).
+//!
+//! Sealing lets an enclave persist secrets outside the trusted zone by
+//! encrypting them under a key derived from the CPU and the enclave
+//! identity (§2.5). MixNN uses it when a model is too large for the EPC and
+//! layer lists must spill to untrusted memory (§4.3).
+//!
+//! Simulation: the "CPU fuse key" is a random 32-byte value held by the
+//! [`SealingKey`]; derivation binds the enclave [`Measurement`]
+//! (MRENCLAVE-policy sealing) through HKDF, and the payload is protected
+//! with ChaCha20 + HMAC exactly like the wire sealed box.
+
+use crate::{EnclaveError, Measurement};
+use mixnn_crypto::chacha20;
+use mixnn_crypto::hmac::{hkdf, hmac_sha256};
+use mixnn_crypto::CryptoError;
+use rand::Rng;
+use std::fmt;
+
+/// A per-platform sealing root key (stands in for the CPU fuse key).
+#[derive(Clone)]
+pub struct SealingKey {
+    root: [u8; 32],
+}
+
+impl fmt::Debug for SealingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SealingKey(redacted)")
+    }
+}
+
+impl SealingKey {
+    /// Derives a fresh platform sealing root.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut root = [0u8; 32];
+        rng.fill(&mut root);
+        SealingKey { root }
+    }
+
+    fn derive(&self, measurement: &Measurement, nonce: &[u8; 12]) -> ([u8; 32], [u8; 32]) {
+        let okm = hkdf(
+            measurement.as_bytes(),
+            &self.root,
+            b"mixnn sgx sealing v1",
+            64,
+        );
+        let mut cipher_key = [0u8; 32];
+        cipher_key.copy_from_slice(&okm[..32]);
+        let mut mac_key = [0u8; 32];
+        mac_key.copy_from_slice(&okm[32..]);
+        // Mix the nonce into the MAC key so each sealed blob authenticates
+        // its own nonce.
+        let mac_key = hmac_sha256(&mac_key, nonce);
+        (cipher_key, mac_key)
+    }
+}
+
+/// Seals `data` for the enclave identified by `measurement`.
+///
+/// Layout: `nonce (12) ‖ tag (32) ‖ ciphertext`.
+pub fn seal_data<R: Rng + ?Sized>(
+    key: &SealingKey,
+    measurement: &Measurement,
+    data: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let mut nonce = [0u8; 12];
+    rng.fill(&mut nonce);
+    let (cipher_key, mac_key) = key.derive(measurement, &nonce);
+    let mut ciphertext = data.to_vec();
+    chacha20::xor_keystream(&cipher_key, &nonce, 0, &mut ciphertext);
+    let tag = hmac_sha256(&mac_key, &ciphertext);
+    let mut out = Vec::with_capacity(12 + 32 + ciphertext.len());
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&tag);
+    out.extend_from_slice(&ciphertext);
+    out
+}
+
+/// Unseals a blob sealed by [`seal_data`] under the same platform key and
+/// enclave measurement.
+///
+/// # Errors
+///
+/// Returns [`EnclaveError::Crypto`] if the blob is malformed or fails
+/// authentication (wrong platform, wrong enclave identity, or tampering).
+pub fn unseal_data(
+    key: &SealingKey,
+    measurement: &Measurement,
+    sealed: &[u8],
+) -> Result<Vec<u8>, EnclaveError> {
+    if sealed.len() < 44 {
+        return Err(EnclaveError::Crypto(CryptoError::BadLength {
+            expected: "at least 44 bytes",
+            actual: sealed.len(),
+        }));
+    }
+    let nonce: [u8; 12] = sealed[..12].try_into().expect("length checked");
+    let tag: [u8; 32] = sealed[12..44].try_into().expect("length checked");
+    let ciphertext = &sealed[44..];
+    let (cipher_key, mac_key) = key.derive(measurement, &nonce);
+    if !mixnn_crypto::ct_eq(&hmac_sha256(&mac_key, ciphertext), &tag) {
+        return Err(EnclaveError::Crypto(CryptoError::AuthenticationFailed));
+    }
+    let mut plaintext = ciphertext.to_vec();
+    chacha20::xor_keystream(&cipher_key, &nonce, 0, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SealingKey, Measurement, StdRng) {
+        let mut rng = StdRng::seed_from_u64(10);
+        let key = SealingKey::generate(&mut rng);
+        let m = Measurement::of_code(b"mixnn proxy");
+        (key, m, rng)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (key, m, mut rng) = setup();
+        let sealed = seal_data(&key, &m, b"layer list spill", &mut rng);
+        let opened = unseal_data(&key, &m, &sealed).unwrap();
+        assert_eq!(opened, b"layer list spill");
+    }
+
+    #[test]
+    fn different_enclave_cannot_unseal() {
+        let (key, m, mut rng) = setup();
+        let sealed = seal_data(&key, &m, b"secret", &mut rng);
+        let other = Measurement::of_code(b"other enclave");
+        assert!(matches!(
+            unseal_data(&key, &other, &sealed),
+            Err(EnclaveError::Crypto(CryptoError::AuthenticationFailed))
+        ));
+    }
+
+    #[test]
+    fn different_platform_cannot_unseal() {
+        let (key, m, mut rng) = setup();
+        let sealed = seal_data(&key, &m, b"secret", &mut rng);
+        let other_key = SealingKey::generate(&mut rng);
+        assert!(unseal_data(&other_key, &m, &sealed).is_err());
+        let _ = key;
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (key, m, mut rng) = setup();
+        let mut sealed = seal_data(&key, &m, b"secret", &mut rng);
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert!(unseal_data(&key, &m, &sealed).is_err());
+    }
+
+    #[test]
+    fn short_blob_rejected() {
+        let (key, m, _) = setup();
+        assert!(matches!(
+            unseal_data(&key, &m, &[0u8; 10]),
+            Err(EnclaveError::Crypto(CryptoError::BadLength { .. }))
+        ));
+    }
+
+    #[test]
+    fn sealing_is_randomized() {
+        let (key, m, mut rng) = setup();
+        let a = seal_data(&key, &m, b"same", &mut rng);
+        let b = seal_data(&key, &m, b"same", &mut rng);
+        assert_ne!(a, b);
+    }
+}

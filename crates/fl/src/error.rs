@@ -1,0 +1,106 @@
+use mixnn_data::DataError;
+use mixnn_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the federated-learning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A model operation failed (shape/label problems).
+    Nn(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// A round was attempted with no participating clients.
+    EmptyRound,
+    /// Client updates cannot be aggregated because their layer signatures
+    /// disagree (different architectures on the wire).
+    IncompatibleUpdates {
+        /// Signature of the first update.
+        expected: Vec<usize>,
+        /// Signature of the offending update.
+        actual: Vec<usize>,
+    },
+    /// A per-client dissemination did not provide a model for a selected
+    /// client.
+    MissingModelFor {
+        /// The client left without a model.
+        client_id: usize,
+    },
+    /// A client id was not found in the simulation.
+    UnknownClient {
+        /// The offending id.
+        client_id: usize,
+    },
+    /// The transport between participants and server failed (e.g. the
+    /// MixNN proxy rejected a ciphertext).
+    Transport {
+        /// Human-readable failure description from the transport.
+        message: String,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "model failure during federated round: {e}"),
+            FlError::Data(e) => write!(f, "data failure during federated round: {e}"),
+            FlError::EmptyRound => write!(f, "cannot run a federated round with zero clients"),
+            FlError::IncompatibleUpdates { expected, actual } => write!(
+                f,
+                "incompatible update signatures: expected {expected:?}, got {actual:?}"
+            ),
+            FlError::MissingModelFor { client_id } => {
+                write!(f, "per-client dissemination missing a model for client {client_id}")
+            }
+            FlError::UnknownClient { client_id } => {
+                write!(f, "client {client_id} is not part of the simulation")
+            }
+            FlError::Transport { message } => write!(f, "transport failure: {message}"),
+        }
+    }
+}
+
+impl Error for FlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            FlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+impl From<DataError> for FlError {
+    fn from(e: DataError) -> Self {
+        FlError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: FlError = NnError::LayerCountMismatch {
+            expected: 2,
+            actual: 1,
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e: FlError = DataError::IndexOutOfRange { index: 1, len: 0 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlError>();
+    }
+}

@@ -1,0 +1,137 @@
+use mixnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for neural-network construction, training and parameter
+/// exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape bugs surface here).
+    Tensor(TensorError),
+    /// A layer received an input whose shape it cannot process.
+    BadInput {
+        /// Name of the layer rejecting the input.
+        layer: String,
+        /// Human-readable expectation, e.g. `"[batch, 4, 8, 8]"`.
+        expected: String,
+        /// The shape actually received.
+        actual: Vec<usize>,
+    },
+    /// A parameter vector of the wrong length was loaded into a layer.
+    ParamLengthMismatch {
+        /// Name of the layer rejecting the parameters.
+        layer: String,
+        /// Number of parameters the layer owns.
+        expected: usize,
+        /// Number of parameters supplied.
+        actual: usize,
+    },
+    /// The number of per-layer parameter vectors does not match the model's
+    /// trainable layer count.
+    LayerCountMismatch {
+        /// Trainable layers in the model.
+        expected: usize,
+        /// Per-layer vectors supplied.
+        actual: usize,
+    },
+    /// `backward` was called before `forward` (no cached activation).
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// Labels and batch rows disagree.
+    LabelCountMismatch {
+        /// Batch rows.
+        expected: usize,
+        /// Labels supplied.
+        actual: usize,
+    },
+    /// A label was outside the class range of the output layer.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            NnError::BadInput {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer} expected input shaped {expected}, got {actual:?}"
+            ),
+            NnError::ParamLengthMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer} owns {expected} parameters but {actual} were supplied"
+            ),
+            NnError::LayerCountMismatch { expected, actual } => write!(
+                f,
+                "model has {expected} trainable layers but {actual} parameter vectors were supplied"
+            ),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called on layer {layer} before forward")
+            }
+            NnError::LabelCountMismatch { expected, actual } => {
+                write!(f, "batch has {expected} rows but {actual} labels")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let e: NnError = TensorError::EmptyTensor.into();
+        assert!(matches!(e, NnError::Tensor(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NnError::ParamLengthMismatch {
+            layer: "dense".into(),
+            expected: 10,
+            actual: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("dense") && msg.contains("10") && msg.contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

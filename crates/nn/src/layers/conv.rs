@@ -1,0 +1,360 @@
+//! 2-D convolution layer (NCHW).
+
+use crate::layers::{check_param_len, Layer};
+use crate::{LayerParams, NnError};
+use mixnn_tensor::{init, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution over `[batch, in_channels, height, width]` inputs.
+///
+/// Kernels are `[out_channels, in_channels, kernel, kernel]` with a bias per
+/// output channel; stride and symmetric zero padding are configurable. The
+/// flat parameter layout is the kernel tensor row-major followed by the
+/// biases.
+///
+/// The implementation uses direct loops rather than im2col: the paper's
+/// models are small (two to three conv layers on ≤ 32×32 inputs), and
+/// direct loops keep the backward pass transparently auditable.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_nn::{Conv2d, Layer};
+/// use mixnn_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let x = Tensor::zeros(vec![2, 3, 8, 8]);
+/// let y = conv.forward(&x)?;
+/// assert_eq!(y.dims(), &[2, 8, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Glorot-uniform kernels and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weights: init::glorot_uniform(
+                fan_in,
+                fan_out,
+                vec![out_channels, in_channels, kernel, kernel],
+                rng,
+            ),
+            bias: Tensor::zeros(vec![out_channels]),
+            grad_weights: Tensor::zeros(vec![out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(vec![out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input spatial size, or `None` if the
+    /// kernel does not fit.
+    pub fn output_size(&self, input: usize) -> Option<usize> {
+        let padded = input + 2 * self.padding;
+        if padded < self.kernel {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn validate_input(&self, input: &Tensor) -> Result<(usize, usize, usize), NnError> {
+        let bad = || NnError::BadInput {
+            layer: "conv2d".to_string(),
+            expected: format!("[batch, {}, h, w] with kernel fitting", self.in_channels),
+            actual: input.dims().to_vec(),
+        };
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(bad());
+        }
+        let (h, w) = (input.dims()[2], input.dims()[3]);
+        let oh = self.output_size(h).ok_or_else(bad)?;
+        let ow = self.output_size(w).ok_or_else(bad)?;
+        Ok((input.dims()[0], oh, ow))
+    }
+
+    #[inline]
+    fn w_at(&self, oc: usize, ic: usize, kh: usize, kw: usize) -> f32 {
+        let k = self.kernel;
+        self.weights.data()[((oc * self.in_channels + ic) * k + kh) * k + kw]
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let (batch, oh, ow) = self.validate_input(input)?;
+        let (h, w) = (input.dims()[2], input.dims()[3]);
+        let (ic_n, oc_n, k, s, p) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let mut out = Tensor::zeros(vec![batch, oc_n, oh, ow]);
+        let x = input.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            for oc in 0..oc_n {
+                let bias = self.bias.data()[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..ic_n {
+                            for kh in 0..k {
+                                let iy = (oy * s + kh) as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kw in 0..k {
+                                    let ix = (ox * s + kw) as isize - p as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * ic_n + ic) * h + iy as usize) * w + ix as usize;
+                                    acc += x[xi] * self.w_at(oc, ic, kh, kw);
+                                }
+                            }
+                        }
+                        o[((b * oc_n + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name().to_string(),
+            })?
+            .clone();
+        let (batch, oh, ow) = self.validate_input(&input)?;
+        if grad_output.dims() != [batch, self.out_channels, oh, ow] {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("[{batch}, {}, {oh}, {ow}]", self.out_channels),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let (h, w) = (input.dims()[2], input.dims()[3]);
+        let (ic_n, oc_n, k, s, p) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let x = input.data();
+        let g = grad_output.data();
+        let mut dx = Tensor::zeros(input.dims().to_vec());
+
+        for b in 0..batch {
+            for oc in 0..oc_n {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((b * oc_n + oc) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.grad_bias.data_mut()[oc] += go;
+                        for ic in 0..ic_n {
+                            for kh in 0..k {
+                                let iy = (oy * s + kh) as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kw in 0..k {
+                                    let ix = (ox * s + kw) as isize - p as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi =
+                                        ((b * ic_n + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * ic_n + ic) * k + kh) * k + kw;
+                                    self.grad_weights.data_mut()[wi] += go * x[xi];
+                                    dx.data_mut()[xi] += go * self.weights.data()[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn params(&self) -> Option<LayerParams> {
+        let mut v = Vec::with_capacity(self.param_len());
+        v.extend_from_slice(self.weights.data());
+        v.extend_from_slice(self.bias.data());
+        Some(LayerParams::from_values(v))
+    }
+
+    fn set_params(&mut self, params: &LayerParams) -> Result<(), NnError> {
+        check_param_len(self.name(), self.param_len(), params)?;
+        let w_len = self.weights.len();
+        self.weights
+            .data_mut()
+            .copy_from_slice(&params.values()[..w_len]);
+        self.bias
+            .data_mut()
+            .copy_from_slice(&params.values()[w_len..]);
+        Ok(())
+    }
+
+    fn grads(&self) -> Option<LayerParams> {
+        let mut v = Vec::with_capacity(self.param_len());
+        v.extend_from_slice(self.grad_weights.data());
+        v.extend_from_slice(self.grad_bias.data());
+        Some(LayerParams::from_values(v))
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.map_in_place(|_| 0.0);
+        self.grad_bias.map_in_place(|_| 0.0);
+    }
+
+    fn param_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel + self.out_channels
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_size_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        assert_eq!(conv.output_size(8), Some(8));
+        let conv2 = Conv2d::new(1, 1, 3, 2, 0, &mut rng);
+        assert_eq!(conv2.output_size(7), Some(3));
+        assert_eq!(conv2.output_size(1), None);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.set_params(&LayerParams::from_values(vec![1.0, 0.0]))
+            .unwrap();
+        let x = Tensor::from_fn(vec![1, 1, 3, 3], |i| i as f32);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn hand_computed_3x3_valid_conv() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        // Kernel [[1, 2], [3, 4]], bias 0.5.
+        conv.set_params(&LayerParams::from_values(vec![1., 2., 3., 4., 0.5]))
+            .unwrap();
+        // Input 3x3: 0..9.
+        let x = Tensor::from_fn(vec![1, 1, 3, 3], |i| i as f32);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        // Window at (0,0): 0*1 + 1*2 + 3*3 + 4*4 = 27, plus bias.
+        assert_eq!(y.data(), &[27.5, 37.5, 57.5, 67.5]);
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(vec![1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 5, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(vec![1, 5, 5, 5]);
+        assert!(matches!(conv.forward(&x), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        assert_eq!(conv.param_len(), 4 * 2 * 9 + 4);
+        let p = conv.params().unwrap();
+        let mut other = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        other.set_params(&p).unwrap();
+        assert_eq!(other.params().unwrap(), p);
+    }
+
+    #[test]
+    fn numerical_gradient_check_no_padding() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(2, 3, 3, 1, 0, &mut rng);
+        let x = Tensor::randn(vec![2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        crate::gradcheck::check_layer(Box::new(conv), &x, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn numerical_gradient_check_with_padding_and_stride() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(vec![1, 1, 6, 6], 0.0, 1.0, &mut rng);
+        crate::gradcheck::check_layer(Box::new(conv), &x, 2e-2).unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Fully connected (dense) layer.
+
+use crate::layers::{check_param_len, Layer};
+use crate::{LayerParams, NnError};
+use mixnn_tensor::{init, Tensor};
+use rand::Rng;
+
+/// A fully connected layer computing `Y = X·W + b`.
+///
+/// Input is `[batch, in_features]`, output `[batch, out_features]`. The
+/// weight matrix is stored `[in_features, out_features]` so the forward pass
+/// is a plain matmul. The flat parameter layout is `W` row-major followed by
+/// `b` — this layout is part of the wire format the MixNN proxy shuffles, so
+/// it is stable and documented.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_nn::{Dense, Layer};
+/// use mixnn_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(3, 2, &mut rng);
+/// let x = Tensor::ones(vec![4, 3]);
+/// let y = layer.forward(&x)?;
+/// assert_eq!(y.dims(), &[4, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Dense {
+            in_features,
+            out_features,
+            weights: init::glorot_uniform(
+                in_features,
+                out_features,
+                vec![in_features, out_features],
+                rng,
+            ),
+            bias: Tensor::zeros(vec![out_features]),
+            grad_weights: Tensor::zeros(vec![in_features, out_features]),
+            grad_bias: Tensor::zeros(vec![out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix, `[in_features, out_features]`.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// The bias vector, `[out_features]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("[batch, {}]", self.in_features),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let mut out = input.matmul(&self.weights)?;
+        let batch = out.dims()[0];
+        let of = self.out_features;
+        {
+            let data = out.data_mut();
+            for b in 0..batch {
+                for (o, &bias) in data[b * of..(b + 1) * of]
+                    .iter_mut()
+                    .zip(self.bias.data())
+                {
+                    *o += bias;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name().to_string(),
+            })?;
+        if grad_output.rank() != 2
+            || grad_output.dims()[1] != self.out_features
+            || grad_output.dims()[0] != input.dims()[0]
+        {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("[{}, {}]", input.dims()[0], self.out_features),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        // dW = Xᵀ · dY, accumulated.
+        let dw = input.matmul_tn(grad_output)?;
+        self.grad_weights.add_assign(&dw)?;
+        // db = column sums of dY, accumulated.
+        let batch = grad_output.dims()[0];
+        {
+            let gb = self.grad_bias.data_mut();
+            for b in 0..batch {
+                for (g, &d) in gb.iter_mut().zip(grad_output.row(b)) {
+                    *g += d;
+                }
+            }
+        }
+        // dX = dY · Wᵀ.
+        let dx = grad_output.matmul_nt(&self.weights)?;
+        Ok(dx)
+    }
+
+    fn params(&self) -> Option<LayerParams> {
+        let mut v = Vec::with_capacity(self.param_len());
+        v.extend_from_slice(self.weights.data());
+        v.extend_from_slice(self.bias.data());
+        Some(LayerParams::from_values(v))
+    }
+
+    fn set_params(&mut self, params: &LayerParams) -> Result<(), NnError> {
+        check_param_len(self.name(), self.param_len(), params)?;
+        let w_len = self.weights.len();
+        self.weights
+            .data_mut()
+            .copy_from_slice(&params.values()[..w_len]);
+        self.bias
+            .data_mut()
+            .copy_from_slice(&params.values()[w_len..]);
+        Ok(())
+    }
+
+    fn grads(&self) -> Option<LayerParams> {
+        let mut v = Vec::with_capacity(self.param_len());
+        v.extend_from_slice(self.grad_weights.data());
+        v.extend_from_slice(self.grad_bias.data());
+        Some(LayerParams::from_values(v))
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.map_in_place(|_| 0.0);
+        self.grad_bias.map_in_place(|_| 0.0);
+    }
+
+    fn param_len(&self) -> usize {
+        self.in_features * self.out_features + self.out_features
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 3, &mut rng);
+        // Set known parameters: W = rows of ones, b = [1, 2, 3].
+        let mut params = vec![1.0f32; 6];
+        params.extend_from_slice(&[1.0, 2.0, 3.0]);
+        layer
+            .set_params(&LayerParams::from_values(params))
+            .unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![10.0, 20.0]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.data(), &[31.0, 32.0, 33.0]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 3, &mut rng);
+        let x = Tensor::zeros(vec![1, 5]);
+        assert!(matches!(
+            layer.forward(&x),
+            Err(NnError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 3, &mut rng);
+        let g = Tensor::zeros(vec![1, 3]);
+        assert!(matches!(
+            layer.backward(&g),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Dense::new(4, 5, &mut rng);
+        let p = layer.params().unwrap();
+        assert_eq!(p.len(), 4 * 5 + 5);
+        let mut other = Dense::new(4, 5, &mut rng);
+        other.set_params(&p).unwrap();
+        assert_eq!(other.params().unwrap(), p);
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_len() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let bad = LayerParams::from_values(vec![0.0; 3]);
+        assert!(matches!(
+            layer.set_params(&bad),
+            Err(NnError::ParamLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let x = Tensor::ones(vec![1, 2]);
+        let g = Tensor::ones(vec![1, 2]);
+        layer.forward(&x).unwrap();
+        layer.backward(&g).unwrap();
+        let g1 = layer.grads().unwrap();
+        layer.forward(&x).unwrap();
+        layer.backward(&g).unwrap();
+        let g2 = layer.grads().unwrap();
+        for (a, b) in g1.values().iter().zip(g2.values()) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+        layer.zero_grads();
+        assert!(layer.grads().unwrap().values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::randn(vec![2, 3], 0.0, 1.0, &mut rng);
+        crate::gradcheck::check_layer(Box::new(layer), &x, 1e-2).unwrap();
+    }
+}

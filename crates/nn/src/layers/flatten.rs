@@ -1,0 +1,119 @@
+//! Flattening layer.
+
+use crate::layers::Layer;
+use crate::{LayerParams, NnError};
+use mixnn_tensor::Tensor;
+
+/// Flattens `[batch, d1, d2, …]` into `[batch, d1·d2·…]`.
+///
+/// Parameter-free; remembers the input shape so `backward` can restore it.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_nn::{Flatten, Layer};
+/// use mixnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), mixnn_nn::NnError> {
+/// let mut flatten = Flatten::new();
+/// let x = Tensor::zeros(vec![2, 3, 4, 4]);
+/// let y = flatten.forward(&x)?;
+/// assert_eq!(y.dims(), &[2, 48]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: "[batch, …] with rank ≥ 2".to_string(),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let batch = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(input.reshape(vec![batch, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name().to_string(),
+            })?;
+        Ok(grad_output.reshape(dims.clone())?)
+    }
+
+    fn params(&self) -> Option<LayerParams> {
+        None
+    }
+
+    fn set_params(&mut self, params: &LayerParams) -> Result<(), NnError> {
+        crate::layers::check_param_len(self.name(), 0, params)
+    }
+
+    fn grads(&self) -> Option<LayerParams> {
+        None
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_restores_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(vec![2, 3, 4], |i| i as f32);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = f.backward(&y).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4]);
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    fn rejects_rank_one() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(vec![5]);
+        assert!(matches!(f.forward(&x), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        assert!(matches!(
+            f.backward(&Tensor::zeros(vec![1, 1])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+}

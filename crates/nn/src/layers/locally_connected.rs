@@ -1,0 +1,291 @@
+//! Locally connected 2-D layer (unshared convolution).
+//!
+//! The paper's LFW experiment uses the DeepFace architecture, whose
+//! distinguishing component is *locally connected* layers: convolutions
+//! whose kernels are **not shared** across spatial positions. This layer
+//! provides that building block for the `zoo::deepface_like` model.
+
+use crate::layers::{check_param_len, Layer};
+use crate::{LayerParams, NnError};
+use mixnn_tensor::{init, Tensor};
+use rand::Rng;
+
+/// Locally connected layer: like [`crate::Conv2d`] with `stride`=1 and no
+/// padding, but with an independent kernel at every output position.
+///
+/// Weights have shape
+/// `[out_channels, out_h, out_w, in_channels, kernel, kernel]` and biases
+/// `[out_channels, out_h, out_w]`; the flat parameter layout is weights then
+/// biases, both row-major. Note the parameter count grows with the output
+/// area — exactly the property that makes DeepFace-style models large,
+/// which the paper's §6.5 memory discussion depends on.
+#[derive(Debug, Clone)]
+pub struct LocallyConnected2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    in_h: usize,
+    in_w: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl LocallyConnected2d {
+    /// Creates a locally connected layer for a fixed input spatial size
+    /// `in_h`×`in_w` (the unshared kernels make the layer shape-specific).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero or larger than the input extent.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(
+            kernel <= in_h && kernel <= in_w,
+            "kernel must fit in the input"
+        );
+        let (out_h, out_w) = (in_h - kernel + 1, in_w - kernel + 1);
+        let fan_in = in_channels * kernel * kernel;
+        let w_dims = vec![out_channels, out_h, out_w, in_channels, kernel, kernel];
+        LocallyConnected2d {
+            in_channels,
+            out_channels,
+            kernel,
+            in_h,
+            in_w,
+            weights: init::glorot_uniform(fan_in, out_channels, w_dims.clone(), rng),
+            bias: Tensor::zeros(vec![out_channels, out_h, out_w]),
+            grad_weights: Tensor::zeros(w_dims),
+            grad_bias: Tensor::zeros(vec![out_channels, out_h, out_w]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        self.in_h - self.kernel + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        self.in_w - self.kernel + 1
+    }
+
+    #[inline]
+    fn w_idx(&self, oc: usize, oy: usize, ox: usize, ic: usize, kh: usize, kw: usize) -> usize {
+        let (oh, ow, icn, k) = (self.out_h(), self.out_w(), self.in_channels, self.kernel);
+        ((((oc * oh + oy) * ow + ox) * icn + ic) * k + kh) * k + kw
+    }
+}
+
+impl Layer for LocallyConnected2d {
+    fn name(&self) -> &'static str {
+        "locally_connected2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.rank() != 4
+            || input.dims()[1] != self.in_channels
+            || input.dims()[2] != self.in_h
+            || input.dims()[3] != self.in_w
+        {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!(
+                    "[batch, {}, {}, {}]",
+                    self.in_channels, self.in_h, self.in_w
+                ),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let batch = input.dims()[0];
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let (icn, ocn, k, h, w) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.in_h,
+            self.in_w,
+        );
+        let mut out = Tensor::zeros(vec![batch, ocn, oh, ow]);
+        let x = input.data();
+        for b in 0..batch {
+            for oc in 0..ocn {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.bias.data()[(oc * oh + oy) * ow + ox];
+                        for ic in 0..icn {
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    let xi = ((b * icn + ic) * h + oy + kh) * w + ox + kw;
+                                    acc += x[xi]
+                                        * self.weights.data()[self.w_idx(oc, oy, ox, ic, kh, kw)];
+                                }
+                            }
+                        }
+                        out.data_mut()[((b * ocn + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name().to_string(),
+            })?
+            .clone();
+        let batch = input.dims()[0];
+        let (oh, ow) = (self.out_h(), self.out_w());
+        if grad_output.dims() != [batch, self.out_channels, oh, ow] {
+            return Err(NnError::BadInput {
+                layer: self.name().to_string(),
+                expected: format!("[{batch}, {}, {oh}, {ow}]", self.out_channels),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let (icn, ocn, k, h, w) = (
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.in_h,
+            self.in_w,
+        );
+        let x = input.data();
+        let g = grad_output.data();
+        let mut dx = Tensor::zeros(input.dims().to_vec());
+        for b in 0..batch {
+            for oc in 0..ocn {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((b * ocn + oc) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.grad_bias.data_mut()[(oc * oh + oy) * ow + ox] += go;
+                        for ic in 0..icn {
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    let xi = ((b * icn + ic) * h + oy + kh) * w + ox + kw;
+                                    let wi = self.w_idx(oc, oy, ox, ic, kh, kw);
+                                    self.grad_weights.data_mut()[wi] += go * x[xi];
+                                    dx.data_mut()[xi] += go * self.weights.data()[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn params(&self) -> Option<LayerParams> {
+        let mut v = Vec::with_capacity(self.param_len());
+        v.extend_from_slice(self.weights.data());
+        v.extend_from_slice(self.bias.data());
+        Some(LayerParams::from_values(v))
+    }
+
+    fn set_params(&mut self, params: &LayerParams) -> Result<(), NnError> {
+        check_param_len(self.name(), self.param_len(), params)?;
+        let w_len = self.weights.len();
+        self.weights
+            .data_mut()
+            .copy_from_slice(&params.values()[..w_len]);
+        self.bias
+            .data_mut()
+            .copy_from_slice(&params.values()[w_len..]);
+        Ok(())
+    }
+
+    fn grads(&self) -> Option<LayerParams> {
+        let mut v = Vec::with_capacity(self.param_len());
+        v.extend_from_slice(self.grad_weights.data());
+        v.extend_from_slice(self.grad_bias.data());
+        Some(LayerParams::from_values(v))
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.map_in_place(|_| 0.0);
+        self.grad_bias.map_in_place(|_| 0.0);
+    }
+
+    fn param_len(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_is_valid_convolution_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lc = LocallyConnected2d::new(2, 3, 3, 6, 5, &mut rng);
+        let x = Tensor::zeros(vec![2, 2, 6, 5]);
+        let y = lc.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 4, 3]);
+    }
+
+    #[test]
+    fn unshared_weights_differ_across_positions() {
+        // With weights set so that position (0,0) has kernel of ones and all
+        // others zero, only the first output position responds.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lc = LocallyConnected2d::new(1, 1, 2, 3, 3, &mut rng);
+        let mut params = vec![0.0f32; lc.param_len()];
+        for p in params.iter_mut().take(4) {
+            *p = 1.0;
+        }
+        lc.set_params(&LayerParams::from_values(params)).unwrap();
+        let x = Tensor::ones(vec![1, 1, 3, 3]);
+        let y = lc.forward(&x).unwrap();
+        assert_eq!(y.data(), &[4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_spatial_size() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lc = LocallyConnected2d::new(1, 1, 2, 4, 4, &mut rng);
+        let x = Tensor::zeros(vec![1, 1, 5, 5]);
+        assert!(matches!(lc.forward(&x), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn param_count_scales_with_output_area() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lc = LocallyConnected2d::new(1, 1, 2, 4, 4, &mut rng);
+        // 3x3 output positions, each with a 2x2 kernel + bias.
+        assert_eq!(lc.param_len(), 9 * 4 + 9);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lc = LocallyConnected2d::new(2, 2, 2, 4, 4, &mut rng);
+        let x = Tensor::randn(vec![2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        crate::gradcheck::check_layer(Box::new(lc), &x, 2e-2).unwrap();
+    }
+}

@@ -1,0 +1,197 @@
+//! Loss functions and evaluation metrics.
+
+use crate::NnError;
+use mixnn_tensor::{vecmath, Tensor};
+
+/// Result of evaluating a model on a labelled batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Mean cross-entropy loss over the batch.
+    pub loss: f32,
+    /// Fraction of correctly classified rows — the paper's *Model Accuracy*
+    /// metric (§6.1.2).
+    pub accuracy: f32,
+}
+
+/// Softmax followed by cross-entropy, fused for numerical stability.
+///
+/// `loss_and_grad` returns both the scalar loss and the gradient with
+/// respect to the logits (`(softmax(z) − onehot(y)) / batch`), which is the
+/// textbook fused derivative.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_nn::SoftmaxCrossEntropy;
+/// use mixnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), mixnn_nn::NnError> {
+/// let loss = SoftmaxCrossEntropy::new();
+/// let logits = Tensor::from_vec(vec![1, 3], vec![10.0, 0.0, 0.0])?;
+/// let (l, _grad) = loss.loss_and_grad(&logits, &[0])?;
+/// assert!(l < 0.01); // confident and correct → tiny loss
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    fn validate(&self, logits: &Tensor, labels: &[usize]) -> Result<(usize, usize), NnError> {
+        if logits.rank() != 2 {
+            return Err(NnError::BadInput {
+                layer: "softmax_cross_entropy".to_string(),
+                expected: "[batch, classes]".to_string(),
+                actual: logits.dims().to_vec(),
+            });
+        }
+        let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+        if labels.len() != batch {
+            return Err(NnError::LabelCountMismatch {
+                expected: batch,
+                actual: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(NnError::LabelOutOfRange {
+                label: bad,
+                classes,
+            });
+        }
+        Ok((batch, classes))
+    }
+
+    /// Computes the mean cross-entropy loss and the gradient w.r.t. the
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`], [`NnError::LabelCountMismatch`] or
+    /// [`NnError::LabelOutOfRange`] on malformed inputs.
+    pub fn loss_and_grad(
+        &self,
+        logits: &Tensor,
+        labels: &[usize],
+    ) -> Result<(f32, Tensor), NnError> {
+        let (batch, classes) = self.validate(logits, labels)?;
+        let mut grad = Tensor::zeros(vec![batch, classes]);
+        let mut total_loss = 0.0f64;
+        for b in 0..batch {
+            let probs = vecmath::softmax(logits.row(b));
+            let p_true = probs[labels[b]].max(1e-12);
+            total_loss += -f64::from(p_true.ln());
+            let g_row = &mut grad.data_mut()[b * classes..(b + 1) * classes];
+            for (j, (&p, g)) in probs.iter().zip(g_row.iter_mut()).enumerate() {
+                *g = (p - if j == labels[b] { 1.0 } else { 0.0 }) / batch as f32;
+            }
+        }
+        Ok(((total_loss / batch as f64) as f32, grad))
+    }
+
+    /// Computes loss and accuracy without gradients (evaluation path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SoftmaxCrossEntropy::loss_and_grad`].
+    pub fn evaluate(&self, logits: &Tensor, labels: &[usize]) -> Result<Evaluation, NnError> {
+        let (batch, _classes) = self.validate(logits, labels)?;
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        for b in 0..batch {
+            let row = logits.row(b);
+            let probs = vecmath::softmax(row);
+            total_loss += -f64::from(probs[labels[b]].max(1e-12).ln());
+            if vecmath::argmax(row) == labels[b] {
+                correct += 1;
+            }
+        }
+        Ok(Evaluation {
+            loss: (total_loss / batch as f64) as f32,
+            accuracy: correct as f32 / batch as f32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![1, 2], vec![20.0, -20.0]).unwrap();
+        let (l, _) = loss.loss_and_grad(&logits, &[0]).unwrap();
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(vec![1, 4]);
+        let (l, _) = loss.loss_and_grad(&logits, &[2]).unwrap();
+        assert!((l - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let (_, grad) = loss.loss_and_grad(&logits, &[0, 2]).unwrap();
+        for b in 0..2 {
+            let s: f32 = grad.row(b).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.3, -0.2, 0.9, 1.1, 0.0, -0.5]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = loss.loss_and_grad(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let (lp, _) = loss.loss_and_grad(&plus, &labels).unwrap();
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lm, _) = loss.loss_and_grad(&minus, &labels).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "index {i}: {} vs {}",
+                grad.data()[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_counts_accuracy() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits =
+            Tensor::from_vec(vec![3, 2], vec![2.0, 1.0, 0.0, 5.0, 3.0, 1.0]).unwrap();
+        let eval = loss.evaluate(&logits, &[0, 1, 1]).unwrap();
+        assert!((eval.accuracy - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(vec![2, 2]);
+        assert!(matches!(
+            loss.loss_and_grad(&logits, &[0]),
+            Err(NnError::LabelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            loss.loss_and_grad(&logits, &[0, 5]),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+    }
+}

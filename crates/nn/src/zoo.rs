@@ -1,0 +1,270 @@
+//! Model zoo: the architectures used in the paper's evaluation.
+//!
+//! §6.1.1 of the paper: *"For CIFAR10, MotionSense and MobiAct datasets, we
+//! use a neural network composed of two convolutional layers and three fully
+//! connected layers. For LFW we use a more complex architecture provided by
+//! Facebook, named DeepFace (multiple convolutional, locally connected,
+//! maxpooling, and fully connected layers)."* §6.5 additionally measures a
+//! three-convolution variant.
+//!
+//! The builders below reproduce those layer stacks at configurable widths.
+//! Widths default to laptop-scale values; the *shape* of every experiment
+//! (who wins, where curves cross) is width-independent because attack and
+//! defense operate on per-layer update vectors whatever their size.
+
+use crate::{Conv2d, Dense, Flatten, LocallyConnected2d, MaxPool2d, Relu, Sequential};
+use rand::Rng;
+
+/// Spatial geometry of an image-like input: channels × height × width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputSpec {
+    /// Channels (e.g. 3 for RGB, 1 for single-channel sensor grids).
+    pub channels: usize,
+    /// Height in pixels/rows.
+    pub height: usize,
+    /// Width in pixels/columns.
+    pub width: usize,
+}
+
+impl InputSpec {
+    /// Creates an input specification.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        InputSpec {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Number of scalars per example.
+    pub fn volume(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// The 4-D batch shape for `batch` examples.
+    pub fn batch_dims(&self, batch: usize) -> Vec<usize> {
+        vec![batch, self.channels, self.height, self.width]
+    }
+}
+
+/// The paper's main architecture: **two convolutional layers and three
+/// fully connected layers** (used for CIFAR10, MotionSense and MobiAct).
+///
+/// Stack: conv(3×3, pad 1) → ReLU → maxpool(2) → conv(3×3, pad 1) → ReLU →
+/// maxpool(2) → flatten → dense → ReLU → dense → ReLU → dense(classes).
+///
+/// # Panics
+///
+/// Panics if the input is too small for two 2× poolings.
+pub fn conv2_fc3<R: Rng + ?Sized>(
+    input: InputSpec,
+    classes: usize,
+    conv_width: usize,
+    fc_width: usize,
+    rng: &mut R,
+) -> Sequential {
+    assert!(
+        input.height >= 4 && input.width >= 4,
+        "input must be at least 4x4 for two 2x poolings"
+    );
+    let mut m = Sequential::new();
+    m.push(Conv2d::new(input.channels, conv_width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2));
+    m.push(Conv2d::new(conv_width, 2 * conv_width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2));
+    m.push(Flatten::new());
+    let flat = 2 * conv_width * (input.height / 4) * (input.width / 4);
+    m.push(Dense::new(flat, fc_width, rng));
+    m.push(Relu::new());
+    m.push(Dense::new(fc_width, fc_width / 2, rng));
+    m.push(Relu::new());
+    m.push(Dense::new(fc_width / 2, classes, rng));
+    m
+}
+
+/// The §6.5 variant: **three convolutional layers and three fully connected
+/// layers**, used to show how proxy cost scales with model size.
+///
+/// # Panics
+///
+/// Panics if the input is too small for two 2× poolings.
+pub fn conv3_fc3<R: Rng + ?Sized>(
+    input: InputSpec,
+    classes: usize,
+    conv_width: usize,
+    fc_width: usize,
+    rng: &mut R,
+) -> Sequential {
+    assert!(
+        input.height >= 4 && input.width >= 4,
+        "input must be at least 4x4 for two 2x poolings"
+    );
+    let mut m = Sequential::new();
+    m.push(Conv2d::new(input.channels, conv_width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2));
+    m.push(Conv2d::new(conv_width, 2 * conv_width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2));
+    m.push(Conv2d::new(2 * conv_width, 2 * conv_width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(Flatten::new());
+    let flat = 2 * conv_width * (input.height / 4) * (input.width / 4);
+    m.push(Dense::new(flat, fc_width, rng));
+    m.push(Relu::new());
+    m.push(Dense::new(fc_width, fc_width / 2, rng));
+    m.push(Relu::new());
+    m.push(Dense::new(fc_width / 2, classes, rng));
+    m
+}
+
+/// DeepFace-like architecture for the LFW experiment: convolution, max
+/// pooling, a second convolution, a **locally connected** layer (DeepFace's
+/// signature component) and two fully connected layers.
+///
+/// # Panics
+///
+/// Panics if the input is smaller than 8×8.
+pub fn deepface_like<R: Rng + ?Sized>(
+    input: InputSpec,
+    classes: usize,
+    width: usize,
+    rng: &mut R,
+) -> Sequential {
+    assert!(
+        input.height >= 8 && input.width >= 8,
+        "deepface-like input must be at least 8x8"
+    );
+    let mut m = Sequential::new();
+    // C1: conv + ReLU, then M2: maxpool.
+    m.push(Conv2d::new(input.channels, width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    m.push(MaxPool2d::new(2));
+    let (h, w) = (input.height / 2, input.width / 2);
+    // C3: second convolution.
+    m.push(Conv2d::new(width, width, 3, 1, 1, rng));
+    m.push(Relu::new());
+    // L4: locally connected layer (unshared kernels).
+    m.push(LocallyConnected2d::new(width, width, 3, h, w, rng));
+    m.push(Relu::new());
+    m.push(Flatten::new());
+    let flat = width * (h - 2) * (w - 2);
+    // F7, F8: fully connected head.
+    m.push(Dense::new(flat, 2 * width, rng));
+    m.push(Relu::new());
+    m.push(Dense::new(2 * width, classes, rng));
+    m
+}
+
+/// A plain multi-layer perceptron: `dims[0] → dims[1] → … → dims.last()`,
+/// ReLU between layers. Used in unit tests and the quickstart example.
+///
+/// # Panics
+///
+/// Panics if fewer than two dimensions are given.
+pub fn mlp<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Sequential {
+    assert!(dims.len() >= 2, "mlp needs at least input and output dims");
+    let mut m = Sequential::new();
+    for i in 0..dims.len() - 1 {
+        m.push(Dense::new(dims[i], dims[i + 1], rng));
+        if i + 2 < dims.len() {
+            m.push(Relu::new());
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv2_fc3_has_five_trainable_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = conv2_fc3(InputSpec::new(3, 8, 8), 10, 4, 16, &mut rng);
+        assert_eq!(m.num_trainable_layers(), 5);
+    }
+
+    #[test]
+    fn conv3_fc3_has_six_trainable_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = conv3_fc3(InputSpec::new(3, 8, 8), 10, 4, 16, &mut rng);
+        assert_eq!(m.num_trainable_layers(), 6);
+    }
+
+    #[test]
+    fn deepface_like_contains_locally_connected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = deepface_like(InputSpec::new(1, 8, 8), 2, 4, &mut rng);
+        assert!(m.layer_names().contains(&"locally_connected2d"));
+        assert_eq!(m.num_trainable_layers(), 5);
+    }
+
+    #[test]
+    fn all_architectures_forward_correct_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = InputSpec::new(3, 8, 8);
+        let x = Tensor::randn(spec.batch_dims(2), 0.0, 1.0, &mut rng);
+
+        let mut a = conv2_fc3(spec, 10, 4, 16, &mut rng);
+        assert_eq!(a.forward(&x).unwrap().dims(), &[2, 10]);
+
+        let mut b = conv3_fc3(spec, 7, 4, 16, &mut rng);
+        assert_eq!(b.forward(&x).unwrap().dims(), &[2, 7]);
+
+        let spec1 = InputSpec::new(1, 8, 8);
+        let x1 = Tensor::randn(spec1.batch_dims(2), 0.0, 1.0, &mut rng);
+        let mut c = deepface_like(spec1, 2, 4, &mut rng);
+        assert_eq!(c.forward(&x1).unwrap().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn conv3_is_larger_than_conv2() {
+        // §6.5's premise: the 3-conv model costs more to proxy than the
+        // 2-conv one.
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = InputSpec::new(3, 8, 8);
+        let small = conv2_fc3(spec, 10, 4, 16, &mut rng);
+        let big = conv3_fc3(spec, 10, 4, 16, &mut rng);
+        assert!(big.num_parameters() > small.num_parameters());
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = mlp(&[4, 8, 3], &mut rng);
+        assert_eq!(m.num_trainable_layers(), 2);
+        let x = Tensor::zeros(vec![5, 4]);
+        assert_eq!(m.forward(&x).unwrap().dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn input_spec_volume_and_dims() {
+        let s = InputSpec::new(3, 8, 8);
+        assert_eq!(s.volume(), 192);
+        assert_eq!(s.batch_dims(4), vec![4, 3, 8, 8]);
+    }
+
+    #[test]
+    fn architectures_are_trainable_end_to_end() {
+        use crate::{Adam, SoftmaxCrossEntropy};
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = InputSpec::new(1, 8, 8);
+        let mut m = conv2_fc3(spec, 2, 2, 8, &mut rng);
+        let x = Tensor::randn(spec.batch_dims(8), 0.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Adam::new(0.01);
+        let before = m.evaluate(&x, &y, &loss).unwrap().loss;
+        for _ in 0..15 {
+            m.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        }
+        let after = m.evaluate(&x, &y, &loss).unwrap().loss;
+        assert!(after < before, "loss did not decrease: {before} -> {after}");
+    }
+}

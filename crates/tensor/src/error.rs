@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every public constructor and operation on [`crate::Tensor`] that can be
+/// misused returns this type instead of panicking, so callers (the NN layers,
+/// the FL aggregation, the proxy) can surface shape bugs as recoverable
+/// errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the data
+    /// buffer length.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A matrix operation was attempted on a tensor that is not 2-D, or with
+    /// incompatible inner dimensions.
+    IncompatibleMatmul {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A zero-sized dimension or empty shape was supplied where it is not
+    /// meaningful.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::IncompatibleMatmul { left, right } => {
+                write!(f, "incompatible matmul operands {left:?} x {right:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::EmptyTensor => write!(f, "operation not defined on an empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2],
+                right: vec![3],
+            },
+            TensorError::IncompatibleMatmul {
+                left: vec![2, 2],
+                right: vec![3, 3],
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![5],
+                shape: vec![2],
+            },
+            TensorError::EmptyTensor,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

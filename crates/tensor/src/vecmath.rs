@@ -1,0 +1,235 @@
+//! Flat-vector numeric helpers.
+//!
+//! Model updates in federated learning are, at the transport level, flat
+//! `f32` vectors (one per layer). The ∇Sim attack of the paper scores
+//! participants by **cosine similarity** between their update and reference
+//! directions, and the robustness analysis (Fig. 9) counts neighbours within
+//! a **Euclidean** radius. Those primitives live here so that the attack,
+//! the proxy and the benches all share one audited implementation.
+//!
+//! All functions operate on slices and make no allocation unless the result
+//! is a vector.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (programming error on a hot path).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn euclidean_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "euclidean_distance: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Cosine similarity between two equal-length slices.
+///
+/// Returns `0.0` when either vector has zero norm: a zero update carries no
+/// directional information, and treating it as orthogonal keeps ∇Sim's
+/// argmax well-defined instead of propagating NaN.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// `y ← y + alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place by `alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise mean of a non-empty set of equal-length vectors.
+///
+/// This is exactly the FedAvg aggregation function `Agr` of the paper
+/// (Section 4.2): the column-wise mean over participant updates. The
+/// utility-equivalence theorem is the statement that this function is
+/// invariant under per-column permutations of its inputs.
+///
+/// Returns `None` if `vectors` is empty or the lengths disagree.
+pub fn mean_of(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let len = first.len();
+    if vectors.iter().any(|v| v.len() != len) {
+        return None;
+    }
+    let mut acc = vec![0.0f32; len];
+    for v in vectors {
+        for (a, &x) in acc.iter_mut().zip(v.iter()) {
+            *a += x;
+        }
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    scale(inv, &mut acc);
+    Some(acc)
+}
+
+/// Index of the maximum element; ties resolve to the first maximal index.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax(a: &[f32]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = a[0];
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Numerically stable softmax of a slice.
+///
+/// Subtracts the maximum before exponentiating; an all-`-inf` input yields a
+/// uniform distribution rather than NaN.
+pub fn softmax(a: &[f32]) -> Vec<f32> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let max = a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = a
+        .iter()
+        .map(|&v| {
+            let e = (v - max).exp();
+            if e.is_nan() {
+                0.0
+            } else {
+                e
+            }
+        })
+        .collect();
+    let sum: f32 = exps.iter().sum();
+    if sum == 0.0 {
+        return vec![1.0 / a.len() as f32; a.len()];
+    }
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        assert_eq!(norm(&[3., 4.]), 5.0);
+    }
+
+    #[test]
+    fn euclidean_distance_basics() {
+        assert_eq!(euclidean_distance(&[0., 0.], &[3., 4.]), 5.0);
+        assert_eq!(euclidean_distance(&[1., 1.], &[1., 1.]), 0.0);
+    }
+
+    #[test]
+    fn cosine_parallel_orthogonal_antiparallel() {
+        assert!((cosine_similarity(&[1., 0.], &[2., 0.]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1., 0.], &[0., 1.]).abs() < 1e-6);
+        assert!((cosine_similarity(&[1., 0.], &[-3., 0.]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0., 0.], &[1., 2.]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1., 1., 1.];
+        axpy(2.0, &[1., 2., 3.], &mut y);
+        assert_eq!(y, vec![3., 5., 7.]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        let m = mean_of(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_of(&[]).is_none());
+        let c = [1.0f32];
+        assert!(mean_of(&[&a, &c]).is_none());
+    }
+
+    #[test]
+    fn mean_is_permutation_invariant() {
+        // The heart of the paper's utility-equivalence argument.
+        let vs: Vec<Vec<f32>> = vec![vec![1., 5.], vec![2., 6.], vec![3., 7.]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let permuted: Vec<&[f32]> = vec![&vs[2], &vs[0], &vs[1]];
+        assert_eq!(mean_of(&refs), mean_of(&permuted));
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[1., 3., 2.]), 1);
+        assert_eq!(argmax(&[5., 5.]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let s = softmax(&[1000.0, 1000.0]);
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_of_empty_is_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+}

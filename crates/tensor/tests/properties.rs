@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These encode the algebraic laws the rest of the workspace silently relies
+//! on, most importantly the permutation invariance of the mean (the formal
+//! core of MixNN's utility-equivalence theorem).
+
+use mixnn_tensor::{vecmath, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in small_vec(16), b in small_vec(16)) {
+        let ta = Tensor::from_vec(vec![16], a).unwrap();
+        let tb = Tensor::from_vec(vec![16], b).unwrap();
+        prop_assert_eq!(ta.add(&tb).unwrap(), tb.add(&ta).unwrap());
+    }
+
+    #[test]
+    fn sub_then_add_restores(a in small_vec(8), b in small_vec(8)) {
+        let ta = Tensor::from_vec(vec![8], a).unwrap();
+        let tb = Tensor::from_vec(vec![8], b).unwrap();
+        let restored = ta.sub(&tb).unwrap().add(&tb).unwrap();
+        for (x, y) in restored.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in small_vec(8), b in small_vec(8), s in -10.0f32..10.0) {
+        let ta = Tensor::from_vec(vec![8], a).unwrap();
+        let tb = Tensor::from_vec(vec![8], b).unwrap();
+        let lhs = ta.add(&tb).unwrap().scale(s);
+        let rhs = ta.scale(s).add(&tb.scale(s)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2_f32.max(y.abs() * 1e-4));
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(vec![rows, cols], 0.0, 1.0, &mut rng);
+        let id = Tensor::eye(cols);
+        let prod = a.matmul(&id).unwrap();
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded(a in small_vec(12), b in small_vec(12)) {
+        let c = vecmath::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant(a in small_vec(12), b in small_vec(12), s in 0.1f32..50.0) {
+        let base = vecmath::cosine_similarity(&a, &b);
+        let scaled: Vec<f32> = a.iter().map(|v| v * s).collect();
+        let c = vecmath::cosine_similarity(&scaled, &b);
+        prop_assert!((base - c).abs() < 1e-3);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(a in small_vec(6), b in small_vec(6), c in small_vec(6)) {
+        let ab = vecmath::euclidean_distance(&a, &b);
+        let bc = vecmath::euclidean_distance(&b, &c);
+        let ac = vecmath::euclidean_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    /// The FedAvg aggregation is invariant under any permutation of its
+    /// inputs — the formal property MixNN's no-utility-loss claim rests on.
+    #[test]
+    fn mean_of_is_permutation_invariant(
+        vectors in proptest::collection::vec(small_vec(10), 1..8),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let refs: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let mut shuffled = refs.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        let m1 = vecmath::mean_of(&refs).unwrap();
+        let m2 = vecmath::mean_of(&shuffled).unwrap();
+        for (x, y) in m1.iter().zip(m2.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(a in small_vec(9)) {
+        let s = vecmath::softmax(&a);
+        let sum: f32 = s.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn reshape_round_trip(a in small_vec(24)) {
+        let t = Tensor::from_vec(vec![24], a).unwrap();
+        let r = t.reshape(vec![2, 3, 4]).unwrap().reshape(vec![24]).unwrap();
+        prop_assert_eq!(t, r);
+    }
+}

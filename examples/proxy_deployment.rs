@@ -1,0 +1,127 @@
+//! The systems view of a MixNN deployment (§4.3 and §6.5 of the paper).
+//!
+//! Walks through what an operator and a participant each see: enclave
+//! launch and attestation, sealed update submission, per-stage costs
+//! (decrypt / store / mix), EPC memory accounting, and the batch vs
+//! streaming mixing strategies — including what happens when things go
+//! wrong (tampered ciphertexts, over-budget models).
+//!
+//! Run with: `cargo run --release --example proxy_deployment`
+
+use mixnn::crypto::SealedBox;
+use mixnn::enclave::{AttestationService, Enclave, EnclaveConfig};
+use mixnn::nn::{LayerParams, ModelParams};
+use mixnn::proxy::{codec, MixingStrategy, MixnnProxy, MixnnProxyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_update(layers: &[usize], rng: &mut StdRng) -> ModelParams {
+    ModelParams::from_layers(
+        layers
+            .iter()
+            .map(|&len| {
+                LayerParams::from_values((0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            })
+            .collect(),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let signature = vec![4_096usize, 16_384, 8_192, 1_024, 130];
+
+    // --- Operator side: launch and publish the proxy -------------------
+    let service = AttestationService::new(&mut rng);
+    let config = MixnnProxyConfig {
+        strategy: MixingStrategy::Batch,
+        expected_signature: signature.clone(),
+        seed: 99,
+        ..MixnnProxyConfig::default()
+    };
+    let mut proxy = MixnnProxy::launch(config, &service, &mut rng);
+    println!("enclave launched, EPC limit: {} MiB", proxy.memory_stats().limit / (1024 * 1024));
+
+    // --- Participant side: verify before trusting ----------------------
+    let expected = Enclave::expected_measurement(&EnclaveConfig::default());
+    assert!(service.verify_quote(proxy.quote(), &expected));
+    assert!(proxy.verify_against(&service));
+    println!("attestation verified: quote matches the published proxy code and binds its key");
+
+    // --- A round of sealed updates --------------------------------------
+    let clients = 12;
+    for i in 0..clients {
+        let update = synthetic_update(&signature, &mut rng);
+        let bytes = codec::encode_params(&update);
+        let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
+        if i == 0 {
+            println!(
+                "update wire size: {} bytes plaintext, {} bytes sealed",
+                bytes.len(),
+                sealed.len()
+            );
+        }
+        proxy.submit_encrypted(&sealed)?;
+    }
+    println!(
+        "EPC while buffered: {:.2} MiB (high water {:.2} MiB)",
+        proxy.memory_stats().allocated as f64 / (1024.0 * 1024.0),
+        proxy.memory_stats().high_water as f64 / (1024.0 * 1024.0),
+    );
+
+    let mixed = proxy.mix_batch()?;
+    println!("mixed {} updates; plan row-distinct: {}", mixed.len(),
+        proxy.last_plan().map(|p| p.is_row_distinct()).unwrap_or(false));
+
+    let stats = proxy.stats();
+    println!(
+        "per-update costs: decrypt {:.2} ms, store {:.2} ms, mix {:.2} ms (§6.5 breakdown)",
+        stats.mean_decrypt_seconds() * 1000.0,
+        stats.mean_store_seconds() * 1000.0,
+        stats.mean_mix_seconds() * 1000.0,
+    );
+
+    // --- Failure handling ------------------------------------------------
+    let update = synthetic_update(&signature, &mut rng);
+    let bytes = codec::encode_params(&update);
+    let mut tampered = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
+    let last = tampered.len() - 1;
+    tampered[last] ^= 1;
+    match proxy.submit_encrypted(&tampered) {
+        Err(e) => println!("tampered ciphertext rejected: {e}"),
+        Ok(_) => unreachable!("tampering must not pass authentication"),
+    }
+    println!(
+        "rejected so far: {} (accounting survives attacks)",
+        proxy.stats().updates_rejected
+    );
+
+    // --- Streaming mode ---------------------------------------------------
+    let mut streaming_proxy = MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Streaming { k: 4 },
+            expected_signature: signature.clone(),
+            seed: 100,
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        &mut rng,
+    );
+    let mut emitted = 0;
+    for _ in 0..10 {
+        let update = synthetic_update(&signature, &mut rng);
+        let sealed = SealedBox::seal(
+            &codec::encode_params(&update),
+            streaming_proxy.public_key(),
+            &mut rng,
+        );
+        if streaming_proxy.submit_encrypted(&sealed)?.is_some() {
+            emitted += 1;
+        }
+    }
+    let flushed = streaming_proxy.flush()?;
+    println!(
+        "streaming (k=4): 10 in, {emitted} emitted during streaming, {} at flush",
+        flushed.len()
+    );
+    Ok(())
+}

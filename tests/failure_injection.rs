@@ -1,0 +1,166 @@
+//! Integration test: failure injection across the stack.
+//!
+//! A production proxy faces malformed traffic, partial participation and
+//! resource exhaustion; these tests pin down that every failure surfaces
+//! as a typed error, is accounted, and leaves the system consistent.
+
+use mixnn::crypto::SealedBox;
+use mixnn::enclave::{AttestationService, EnclaveConfig};
+use mixnn::nn::{LayerParams, ModelParams};
+use mixnn::proxy::{codec, MixingStrategy, MixnnProxy, MixnnProxyConfig, ProxyError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn params(i: usize) -> ModelParams {
+    ModelParams::from_layers(vec![
+        LayerParams::from_values(vec![i as f32; 8]),
+        LayerParams::from_values(vec![-(i as f32); 4]),
+    ])
+}
+
+fn proxy(seed: u64) -> (MixnnProxy, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let service = AttestationService::new(&mut rng);
+    let p = MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Batch,
+            expected_signature: vec![8, 4],
+            seed,
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        &mut rng,
+    );
+    (p, rng)
+}
+
+#[test]
+fn proxy_survives_garbage_between_valid_updates() {
+    let (mut p, mut rng) = proxy(1);
+    for i in 0..4 {
+        // Valid update.
+        let sealed = SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng);
+        p.submit_encrypted(&sealed).unwrap();
+        // Garbage of various shapes.
+        assert!(p.submit_encrypted(&[]).is_err());
+        assert!(p.submit_encrypted(&[0u8; 63]).is_err());
+        assert!(p.submit_encrypted(&vec![0xffu8; 200]).is_err());
+    }
+    assert_eq!(p.stats().updates_received, 4);
+    assert_eq!(p.stats().updates_rejected, 12);
+    // The round still completes with the valid four.
+    let mixed = p.mix_batch().unwrap();
+    assert_eq!(mixed.len(), 4);
+    assert_eq!(p.memory_stats().allocated, 0, "no leaked EPC accounting");
+}
+
+#[test]
+fn valid_ciphertext_with_malformed_plaintext_is_rejected() {
+    let (mut p, mut rng) = proxy(2);
+    // Properly sealed, but the plaintext is not a codec frame.
+    let sealed = SealedBox::seal(b"definitely not a model update", p.public_key(), &mut rng);
+    assert!(matches!(
+        p.submit_encrypted(&sealed),
+        Err(ProxyError::Codec { .. })
+    ));
+    assert_eq!(p.memory_stats().allocated, 0);
+}
+
+#[test]
+fn replayed_update_is_accepted_but_tampered_replay_is_not() {
+    // Replay protection is out of scope for the proxy (the server
+    // aggregates whatever the round provides); what matters is that a
+    // bit-flipped replay fails authentication.
+    let (mut p, mut rng) = proxy(3);
+    let sealed = SealedBox::seal(&codec::encode_params(&params(0)), p.public_key(), &mut rng);
+    p.submit_encrypted(&sealed).unwrap();
+    p.submit_encrypted(&sealed).unwrap();
+    let mut tampered = sealed.clone();
+    tampered[70] ^= 0x80;
+    assert!(p.submit_encrypted(&tampered).is_err());
+    assert_eq!(p.buffered(), 2);
+}
+
+#[test]
+fn epc_exhaustion_fails_the_offending_update_only() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let service = AttestationService::new(&mut rng);
+    // Each update costs a 65-byte transient decrypt buffer plus 48 bytes
+    // buffered; 150 bytes fit two updates (48·2 + 65 = 161 > 150 on the
+    // third) but not four.
+    let mut p = MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Batch,
+            expected_signature: vec![8, 4],
+            enclave: EnclaveConfig {
+                epc_limit: 150,
+                ..EnclaveConfig::default()
+            },
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        &mut rng,
+    );
+    let mut ok = 0;
+    let mut exhausted = 0;
+    for i in 0..4 {
+        let sealed =
+            SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng);
+        match p.submit_encrypted(&sealed) {
+            Ok(_) => ok += 1,
+            Err(ProxyError::Enclave(mixnn::enclave::EnclaveError::MemoryExhausted {
+                ..
+            })) => exhausted += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(ok >= 1, "some updates must fit");
+    assert!(exhausted >= 1, "the EPC limit must bite");
+    // The buffered ones still mix.
+    let mixed = p.mix_batch().unwrap();
+    assert_eq!(mixed.len(), ok);
+}
+
+#[test]
+fn partial_participation_rounds_still_aggregate() {
+    use mixnn::data::motionsense_like;
+    use mixnn::fl::{Dissemination, FlConfig, FlSimulation};
+    use mixnn::nn::zoo;
+
+    let mut spec = motionsense_like(5);
+    spec.train_per_participant = 16;
+    spec.attribute_counts = vec![4, 4];
+    let population = spec.generate().unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let template = zoo::conv2_fc3(zoo::InputSpec::new(1, 8, 8), 6, 2, 8, &mut rng);
+    let cfg = FlConfig {
+        rounds: 2,
+        local_epochs: 1,
+        batch_size: 8,
+        clients_per_round: 8,
+        seed: 5,
+        ..FlConfig::default()
+    };
+    let mut sim = FlSimulation::new(template, cfg, &population);
+
+    let service = AttestationService::new(&mut rng);
+    let proxy = MixnnProxy::launch(MixnnProxyConfig::default(), &service, &mut rng);
+    let mut transport = mixnn::proxy::MixnnTransport::new(
+        proxy,
+        mixnn::proxy::TransportMode::Encrypted,
+        5,
+    );
+
+    // Only three of eight participants show up (dropped clients).
+    let outcome = sim
+        .run_round_with(
+            &[0, 3, 6],
+            Dissemination::Broadcast(sim.global().clone()),
+            &mut transport,
+        )
+        .unwrap();
+    assert_eq!(outcome.observed.len(), 3);
+    // And the next full round proceeds normally.
+    sim.run_round(&mut transport).unwrap();
+    assert_eq!(sim.rounds_run(), 2);
+}
