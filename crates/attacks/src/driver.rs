@@ -225,14 +225,8 @@ mod tests {
     #[test]
     fn passive_experiment_produces_curve() {
         let (fed, template, fl_cfg, attack_cfg) = tiny_setup();
-        let exp = InferenceExperiment::new(
-            &fed,
-            template,
-            fl_cfg,
-            attack_cfg,
-            AttackMode::Passive,
-            0.8,
-        );
+        let exp =
+            InferenceExperiment::new(&fed, template, fl_cfg, attack_cfg, AttackMode::Passive, 0.8);
         let result = exp.run(&mut DirectTransport::new()).unwrap();
         assert_eq!(result.per_round_accuracy.len(), 2);
         assert!((0.0..=1.0).contains(&result.final_accuracy));
@@ -244,14 +238,8 @@ mod tests {
     #[test]
     fn active_experiment_runs() {
         let (fed, template, fl_cfg, attack_cfg) = tiny_setup();
-        let exp = InferenceExperiment::new(
-            &fed,
-            template,
-            fl_cfg,
-            attack_cfg,
-            AttackMode::Active,
-            0.8,
-        );
+        let exp =
+            InferenceExperiment::new(&fed, template, fl_cfg, attack_cfg, AttackMode::Active, 0.8);
         let result = exp.run(&mut DirectTransport::new()).unwrap();
         assert_eq!(result.per_round_accuracy.len(), 2);
     }
@@ -260,14 +248,8 @@ mod tests {
     fn zero_rounds_is_rejected() {
         let (fed, template, mut fl_cfg, attack_cfg) = tiny_setup();
         fl_cfg.rounds = 0;
-        let exp = InferenceExperiment::new(
-            &fed,
-            template,
-            fl_cfg,
-            attack_cfg,
-            AttackMode::Passive,
-            0.8,
-        );
+        let exp =
+            InferenceExperiment::new(&fed, template, fl_cfg, attack_cfg, AttackMode::Passive, 0.8);
         assert!(matches!(
             exp.run(&mut DirectTransport::new()),
             Err(AttackError::InvalidConfig { .. })
@@ -277,14 +259,8 @@ mod tests {
     #[test]
     fn bad_background_fraction_is_rejected() {
         let (fed, template, fl_cfg, attack_cfg) = tiny_setup();
-        let exp = InferenceExperiment::new(
-            &fed,
-            template,
-            fl_cfg,
-            attack_cfg,
-            AttackMode::Passive,
-            1.5,
-        );
+        let exp =
+            InferenceExperiment::new(&fed, template, fl_cfg, attack_cfg, AttackMode::Passive, 1.5);
         assert!(matches!(
             exp.run(&mut DirectTransport::new()),
             Err(AttackError::InvalidConfig { .. })

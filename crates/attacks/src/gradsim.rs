@@ -120,7 +120,11 @@ impl GradSim {
                 reason: "background knowledge is empty".to_string(),
             });
         }
-        let num_attributes = background.iter().map(|(a, _)| a + 1).max().expect("non-empty");
+        let num_attributes = background
+            .iter()
+            .map(|(a, _)| a + 1)
+            .max()
+            .expect("non-empty");
         let mut per_attr: Vec<Option<&Dataset>> = vec![None; num_attributes];
         for (attr, data) in background {
             per_attr[*attr] = Some(data);
@@ -186,13 +190,7 @@ impl GradSim {
                 *m += d / self.references.len() as f32;
             }
         }
-        Some(
-            target
-                .iter()
-                .zip(&mean)
-                .map(|(t, m)| t - m)
-                .collect(),
-        )
+        Some(target.iter().zip(&mean).map(|(t, m)| t - m).collect())
     }
 
     /// Scores an observed update (the returned parameters) against every

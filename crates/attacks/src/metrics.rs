@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn accuracy_none_without_overlap() {
-        assert_eq!(
-            inference_accuracy(&map(&[(5, 0)]), &map(&[(6, 0)])),
-            None
-        );
+        assert_eq!(inference_accuracy(&map(&[(5, 0)]), &map(&[(6, 0)])), None);
     }
 
     #[test]

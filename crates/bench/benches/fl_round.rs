@@ -24,8 +24,7 @@ fn bench_round(c: &mut Criterion) {
             &defense,
             |b, defense| {
                 b.iter(|| {
-                    let mut sim =
-                        FlSimulation::new(setup.template(), setup.fl, &population);
+                    let mut sim = FlSimulation::new(setup.template(), setup.fl, &population);
                     let mut transport = defense.make_transport(setup.fl.seed);
                     sim.run_round(transport.as_mut()).unwrap()
                 });

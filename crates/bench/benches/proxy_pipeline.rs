@@ -53,20 +53,16 @@ fn bench_decrypt_store(c: &mut Criterion) {
         let params = update(layers, scalars / layers, 1);
         let bytes = codec::encode_params(&params);
         group.throughput(Throughput::Bytes(bytes.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scalars),
-            &scalars,
-            |b, _| {
-                let mut rng = StdRng::seed_from_u64(2);
-                let mut proxy = launch_proxy(params.signature(), &mut rng);
-                let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
-                b.iter(|| {
-                    proxy.submit_encrypted(&sealed).unwrap();
-                    // Drain so the buffer (and EPC accounting) stays flat.
-                    proxy.mix_batch().unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scalars), &scalars, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut proxy = launch_proxy(params.signature(), &mut rng);
+            let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
+            b.iter(|| {
+                proxy.submit_encrypted(&sealed).unwrap();
+                // Drain so the buffer (and EPC accounting) stays flat.
+                proxy.mix_batch().unwrap()
+            });
+        });
     }
     group.finish();
 }
@@ -78,18 +74,12 @@ fn bench_mix_only(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for &clients in &[8usize, 20, 40] {
-        let updates: Vec<ModelParams> = (0..clients)
-            .map(|i| update(5, 4_000, i as u64))
-            .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(clients),
-            &clients,
-            |b, _| {
-                let mut rng = StdRng::seed_from_u64(3);
-                let mut proxy = launch_proxy(updates[0].signature(), &mut rng);
-                b.iter(|| proxy.mix_plaintext_round(updates.clone()).unwrap());
-            },
-        );
+        let updates: Vec<ModelParams> = (0..clients).map(|i| update(5, 4_000, i as u64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut proxy = launch_proxy(updates[0].signature(), &mut rng);
+            b.iter(|| proxy.mix_plaintext_round(updates.clone()).unwrap());
+        });
     }
     group.finish();
 }

@@ -105,7 +105,10 @@ fn run_fig5(opts: &Options) -> Result<(), String> {
     for setup in setups(opts) {
         let points = utility::run(&setup, opts.repeats).map_err(|e| e.to_string())?;
         report::print_table(
-            &format!("Figure 5 ({}): model accuracy per learning round", setup.kind.name()),
+            &format!(
+                "Figure 5 ({}): model accuracy per learning round",
+                setup.kind.name()
+            ),
             &["dataset", "defense", "round", "accuracy", "loss"],
             &utility::rows(&points),
         );
@@ -151,7 +154,13 @@ fn run_fig7(opts: &Options) -> Result<(), String> {
                     AttackMode::Passive => "passive",
                 }
             ),
-            &["dataset", "defense", "round", "inference accuracy", "chance"],
+            &[
+                "dataset",
+                "defense",
+                "round",
+                "inference accuracy",
+                "chance",
+            ],
             &inference::rows(&points),
         );
     }
@@ -167,7 +176,13 @@ fn run_fig8(opts: &Options) -> Result<(), String> {
                 "Figure 8 ({}): inference accuracy vs background knowledge",
                 setup.kind.name()
             ),
-            &["dataset", "defense", "background", "inference accuracy", "chance"],
+            &[
+                "dataset",
+                "defense",
+                "background",
+                "inference accuracy",
+                "chance",
+            ],
             &background::rows(&points),
         );
     }

@@ -210,7 +210,9 @@ impl ExperimentSetup {
             self.spec.dims.width,
         );
         match self.kind {
-            DatasetKind::Lfw => zoo::deepface_like(input, self.spec.num_classes, self.conv_width, rng),
+            DatasetKind::Lfw => {
+                zoo::deepface_like(input, self.spec.num_classes, self.conv_width, rng)
+            }
             _ => zoo::conv2_fc3(
                 input,
                 self.spec.num_classes,
@@ -241,15 +243,50 @@ mod tests {
     #[test]
     fn paper_parameters_match_section_614() {
         let c = ExperimentSetup::paper(DatasetKind::Cifar10, 0);
-        assert_eq!((c.fl.rounds, c.fl.local_epochs, c.fl.batch_size, c.fl.clients_per_round), (10, 3, 32, 16));
+        assert_eq!(
+            (
+                c.fl.rounds,
+                c.fl.local_epochs,
+                c.fl.batch_size,
+                c.fl.clients_per_round
+            ),
+            (10, 3, 32, 16)
+        );
         let m = ExperimentSetup::paper(DatasetKind::MotionSense, 0);
-        assert_eq!((m.fl.rounds, m.fl.local_epochs, m.fl.batch_size, m.fl.clients_per_round), (20, 2, 256, 20));
+        assert_eq!(
+            (
+                m.fl.rounds,
+                m.fl.local_epochs,
+                m.fl.batch_size,
+                m.fl.clients_per_round
+            ),
+            (20, 2, 256, 20)
+        );
         let a = ExperimentSetup::paper(DatasetKind::MobiAct, 0);
-        assert_eq!((a.fl.rounds, a.fl.local_epochs, a.fl.batch_size, a.fl.clients_per_round), (20, 3, 64, 40));
+        assert_eq!(
+            (
+                a.fl.rounds,
+                a.fl.local_epochs,
+                a.fl.batch_size,
+                a.fl.clients_per_round
+            ),
+            (20, 3, 64, 40)
+        );
         let l = ExperimentSetup::paper(DatasetKind::Lfw, 0);
-        assert_eq!((l.fl.rounds, l.fl.local_epochs, l.fl.batch_size, l.fl.clients_per_round), (30, 2, 16, 20));
+        assert_eq!(
+            (
+                l.fl.rounds,
+                l.fl.local_epochs,
+                l.fl.batch_size,
+                l.fl.clients_per_round
+            ),
+            (30, 2, 16, 20)
+        );
         for k in DatasetKind::ALL {
-            assert_eq!(ExperimentSetup::paper(k, 0).fl.optimizer, OptimizerKind::Adam);
+            assert_eq!(
+                ExperimentSetup::paper(k, 0).fl.optimizer,
+                OptimizerKind::Adam
+            );
         }
     }
 
@@ -288,7 +325,10 @@ mod tests {
         let t = setup.template();
         assert!(t.layer_names().contains(&"locally_connected2d"));
         let other = ExperimentSetup::quick(DatasetKind::Cifar10, 0);
-        assert!(!other.template().layer_names().contains(&"locally_connected2d"));
+        assert!(!other
+            .template()
+            .layer_names()
+            .contains(&"locally_connected2d"));
     }
 
     #[test]
@@ -302,8 +342,14 @@ mod tests {
 
     #[test]
     fn chance_levels() {
-        assert!((ExperimentSetup::paper(DatasetKind::Cifar10, 0).chance_level() - 1.0 / 3.0).abs() < 1e-6);
-        assert_eq!(ExperimentSetup::paper(DatasetKind::Lfw, 0).chance_level(), 0.5);
+        assert!(
+            (ExperimentSetup::paper(DatasetKind::Cifar10, 0).chance_level() - 1.0 / 3.0).abs()
+                < 1e-6
+        );
+        assert_eq!(
+            ExperimentSetup::paper(DatasetKind::Lfw, 0).chance_level(),
+            0.5
+        );
     }
 
     #[test]

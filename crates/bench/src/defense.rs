@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn classic_is_identity_noisy_and_mixnn_are_not() {
         let ins = updates(6);
-        let out = Defense::ClassicFl.make_transport(0).relay(ins.clone()).unwrap();
+        let out = Defense::ClassicFl
+            .make_transport(0)
+            .relay(ins.clone())
+            .unwrap();
         assert_eq!(out, ins);
         let noisy = Defense::NoisyGradient { sigma: 0.5 }
             .make_transport(0)

@@ -68,12 +68,12 @@ pub fn run(
             }
         }
         let n = repeats.max(1) as f32;
-        for round in 0..rounds {
+        for (round, sum) in acc_sum.iter().enumerate() {
             points.push(InferencePoint {
                 dataset: setup.kind.name().to_string(),
                 defense: defense.label().to_string(),
                 round: round + 1,
-                accuracy: acc_sum[round] / n,
+                accuracy: sum / n,
                 chance: setup.chance_level(),
             });
         }

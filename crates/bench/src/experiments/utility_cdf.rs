@@ -102,12 +102,11 @@ mod tests {
         let (points, means) = run(&setup, 2).unwrap();
         assert_eq!(means.len(), 3);
         for defense in ["classic-fl", "noisy-gradient", "mixnn"] {
-            let series: Vec<&CdfPoint> =
-                points.iter().filter(|p| p.defense == defense).collect();
+            let series: Vec<&CdfPoint> = points.iter().filter(|p| p.defense == defense).collect();
             assert_eq!(series.len(), setup.spec.num_participants());
-            assert!(series.windows(2).all(|w| {
-                w[0].accuracy <= w[1].accuracy && w[0].fraction <= w[1].fraction
-            }));
+            assert!(series
+                .windows(2)
+                .all(|w| { w[0].accuracy <= w[1].accuracy && w[0].fraction <= w[1].fraction }));
             assert!((series.last().unwrap().fraction - 1.0).abs() < 1e-6);
         }
     }

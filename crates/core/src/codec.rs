@@ -169,6 +169,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_layers_round_trip() {
+        // Zero-length layers are legal (e.g. a bias-free layer slot) and
+        // must survive next to populated ones.
+        let p = ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![]),
+            LayerParams::from_values(vec![1.5]),
+            LayerParams::from_values(vec![]),
+        ]);
+        let bytes = encode_params(&p);
+        assert_eq!(bytes.len(), encoded_len(&p.signature()));
+        assert_eq!(decode_params(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn large_layer_round_trips_at_size_edge() {
+        // One deliberately large layer (64 Ki scalars ≈ 256 KiB on the
+        // wire) — the biggest single allocation the tests exercise.
+        let n = 1 << 16;
+        let values: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 1000.0).collect();
+        let p = ModelParams::from_layers(vec![
+            LayerParams::from_values(values),
+            LayerParams::from_values(vec![]),
+        ]);
+        let bytes = encode_params(&p);
+        assert_eq!(bytes.len(), encoded_len(&p.signature()));
+        assert_eq!(decode_params(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn implausible_layer_count_is_rejected_without_allocating() {
+        // A header advertising u32::MAX layers with no payload must be
+        // rejected by the sanity bound, not die attempting a huge reserve.
+        let mut bytes = Vec::new();
+        bytes.put_u32(MAGIC);
+        bytes.put_u8(VERSION);
+        bytes.put_u32(u32::MAX);
+        let err = decode_params(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausible"));
+    }
+
+    #[test]
     fn nan_and_special_values_survive() {
         let p = ModelParams::from_layers(vec![LayerParams::from_values(vec![
             f32::INFINITY,

@@ -26,22 +26,17 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Which mixing algorithm a proxy runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum MixingStrategy {
     /// Wait for all `C` participants, then mix with a Latin-rectangle plan
     /// (the paper's L = C assumption; used for the main experiments).
+    #[default]
     Batch,
     /// Streaming lists of size `k` (the paper's §4.3 implementation).
     Streaming {
         /// Per-layer list capacity (the paper's `k`).
         k: usize,
     },
-}
-
-impl Default for MixingStrategy {
-    fn default() -> Self {
-        MixingStrategy::Batch
-    }
 }
 
 /// A concrete mixing assignment: `assignments[l][i]` is the index of the
@@ -229,10 +224,9 @@ impl MixPlan {
 
 /// Verifies all updates share one signature and returns it.
 pub(crate) fn check_common_signature(updates: &[ModelParams]) -> Result<Vec<usize>, ProxyError> {
-    let first = updates.first().ok_or(ProxyError::InsufficientUpdates {
-        have: 0,
-        need: 1,
-    })?;
+    let first = updates
+        .first()
+        .ok_or(ProxyError::InsufficientUpdates { have: 0, need: 1 })?;
     let signature = first.signature();
     for u in updates {
         if u.signature() != signature {
@@ -405,8 +399,7 @@ impl StreamingMixer {
                             per_layer[l].push(lp);
                         }
                     }
-                    self.buffers =
-                        Some(per_layer.into_iter().map(ObliviousBuffer::new).collect());
+                    self.buffers = Some(per_layer.into_iter().map(ObliviousBuffer::new).collect());
                 }
                 Ok(None)
             }
@@ -435,9 +428,7 @@ impl StreamingMixer {
                     buffers.iter_mut().map(|b| b.drain_clone()).collect();
                 (0..self.k)
                     .map(|i| {
-                        ModelParams::from_layers(
-                            per_layer.iter().map(|l| l[i].clone()).collect(),
-                        )
+                        ModelParams::from_layers(per_layer.iter().map(|l| l[i].clone()).collect())
                     })
                     .collect()
             }
@@ -460,9 +451,7 @@ mod tests {
                     layers
                         .iter()
                         .enumerate()
-                        .map(|(l, &len)| {
-                            LayerParams::from_values(vec![(i * 100 + l) as f32; len])
-                        })
+                        .map(|(l, &len)| LayerParams::from_values(vec![(i * 100 + l) as f32; len]))
                         .collect(),
                 )
             })

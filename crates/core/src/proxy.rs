@@ -2,8 +2,8 @@
 
 use crate::mixer::check_common_signature;
 use crate::{codec, BatchMixer, MixPlan, MixingStrategy, ProxyError, StreamingMixer};
-use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
 use mixnn_crypto::PublicKey;
+use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
 use mixnn_nn::ModelParams;
 use rand::Rng;
 use std::time::Instant;
@@ -241,10 +241,7 @@ impl MixnnProxy {
         result
     }
 
-    fn submit_encrypted_inner(
-        &mut self,
-        sealed: &[u8],
-    ) -> Result<Option<ModelParams>, ProxyError> {
+    fn submit_encrypted_inner(&mut self, sealed: &[u8]) -> Result<Option<ModelParams>, ProxyError> {
         self.stats.bytes_received += sealed.len() as u64;
 
         let t0 = Instant::now();

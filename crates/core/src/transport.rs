@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn streaming_round_conserves_count() {
-        let mut t = transport(
-            MixingStrategy::Streaming { k: 2 },
-            TransportMode::Encrypted,
-        );
+        let mut t = transport(MixingStrategy::Streaming { k: 2 }, TransportMode::Encrypted);
         let ins = updates(7);
         let outs = t.relay(ins.clone()).unwrap();
         assert_eq!(outs.len(), 7);

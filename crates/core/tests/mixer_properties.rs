@@ -1,0 +1,155 @@
+//! Property tests for the mixer: mixing is lossless (a per-layer
+//! permutation of its input — nothing dropped, nothing duplicated) and
+//! invertible given the recorded [`MixPlan`] assignment.
+//!
+//! These are the §4.2 guarantees the utility-equivalence argument rests on,
+//! checked bitwise for arbitrary update contents and shapes.
+
+use mixnn_core::{BatchMixer, MixPlan};
+use mixnn_nn::{LayerParams, ModelParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_signature() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..10, 1..6)
+}
+
+/// Builds `participants` updates whose every scalar encodes its origin
+/// `(participant, layer, offset)`, so layer vectors are pairwise distinct
+/// and permutation checks are exact.
+fn tagged_updates(signature: &[usize], participants: usize) -> Vec<ModelParams> {
+    (0..participants)
+        .map(|p| {
+            ModelParams::from_layers(
+                signature
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &len)| {
+                        LayerParams::from_values(
+                            (0..len)
+                                .map(|o| (p * 10_000 + l * 100 + o) as f32)
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The layer-`l` vectors of `updates` as sorted bit patterns (a canonical
+/// multiset representation).
+fn layer_multiset(updates: &[ModelParams], layer: usize) -> Vec<Vec<u32>> {
+    let mut vectors: Vec<Vec<u32>> = updates
+        .iter()
+        .map(|u| {
+            u.layer(layer)
+                .expect("layer within signature")
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    vectors.sort();
+    vectors
+}
+
+/// Inverts a mix using the recorded plan: participant `p`'s layer `l` is
+/// wherever the plan says it was routed.
+fn unmix(mixed: &[ModelParams], plan: &MixPlan) -> Vec<ModelParams> {
+    let layers = plan.layers();
+    (0..plan.participants())
+        .map(|p| {
+            let recovered = (0..layers)
+                .map(|l| {
+                    let output = (0..plan.participants())
+                        .find(|&i| plan.source(l, i) == Some(p))
+                        .expect("column bijectivity: every participant appears once");
+                    mixed[output]
+                        .layer(l)
+                        .expect("layer within signature")
+                        .clone()
+                })
+                .collect();
+            ModelParams::from_layers(recovered)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A mixed batch is, per layer position, exactly a permutation of the
+    /// input batch: multiset-equal, so no update is lost or duplicated.
+    #[test]
+    fn batch_mix_is_a_per_layer_permutation(
+        signature in arb_signature(),
+        participants in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let updates = tagged_updates(&signature, participants);
+        let (mixed, plan) = BatchMixer::new(seed).mix(&updates).unwrap();
+        prop_assert_eq!(mixed.len(), updates.len());
+        prop_assert!(plan.is_column_bijective());
+        for layer in 0..signature.len() {
+            prop_assert_eq!(
+                layer_multiset(&updates, layer),
+                layer_multiset(&mixed, layer)
+            );
+        }
+    }
+
+    /// Unmixing with the recorded assignment restores the original batch in
+    /// its original order, bitwise.
+    #[test]
+    fn unmixing_with_recorded_plan_restores_order(
+        signature in arb_signature(),
+        participants in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let updates = tagged_updates(&signature, participants);
+        let (mixed, plan) = BatchMixer::new(seed).mix(&updates).unwrap();
+        prop_assert_eq!(unmix(&mixed, &plan), updates);
+    }
+
+    /// The plan the mixer reports is the plan it actually applied: each
+    /// output layer is bitwise the recorded source participant's layer.
+    #[test]
+    fn recorded_plan_matches_applied_routing(
+        signature in arb_signature(),
+        participants in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let updates = tagged_updates(&signature, participants);
+        let (mixed, plan) = BatchMixer::new(seed).mix(&updates).unwrap();
+        for layer in 0..signature.len() {
+            for (output, mixed_update) in mixed.iter().enumerate() {
+                let source = plan.source(layer, output).unwrap();
+                prop_assert_eq!(
+                    mixed_update.layer(layer).unwrap(),
+                    updates[source].layer(layer).unwrap()
+                );
+            }
+        }
+    }
+
+    /// `MixPlan::apply` on an explicitly constructed Latin plan is also
+    /// invertible — the property does not depend on `BatchMixer` wiring.
+    #[test]
+    fn latin_plan_apply_round_trips(
+        layers in 1usize..6,
+        extra in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        // The Latin construction needs participants >= layers.
+        let participants = layers + extra;
+        let signature = vec![3usize; layers];
+        let updates = tagged_updates(&signature, participants);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = MixPlan::latin(participants, layers, &mut rng).unwrap();
+        let mixed = plan.apply(&updates).unwrap();
+        prop_assert_eq!(unmix(&mixed, &plan), updates);
+    }
+}

@@ -103,8 +103,8 @@ impl Fe {
 
     fn add(&self, other: &Fe) -> Fe {
         let mut r = [0u64; 5];
-        for i in 0..5 {
-            r[i] = self.0[i] + other.0[i];
+        for (limb, (&a, &b)) in r.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *limb = a + b;
         }
         Fe(r)
     }
@@ -156,8 +156,8 @@ impl Fe {
 
     fn mul_small(&self, s: u32) -> Fe {
         let mut r = [0u128; 5];
-        for i in 0..5 {
-            r[i] = u128::from(self.0[i]) * u128::from(s);
+        for (limb, &a) in r.iter_mut().zip(self.0.iter()) {
+            *limb = u128::from(a) * u128::from(s);
         }
         Fe::carry(r)
     }
@@ -306,10 +306,8 @@ mod tests {
     /// RFC 7748 §5.2, test vector 1.
     #[test]
     fn rfc7748_vector_1() {
-        let scalar =
-            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
-        let point =
-            unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
         let out = x25519(&scalar, &point);
         assert_eq!(
             hex(&out),
@@ -320,10 +318,8 @@ mod tests {
     /// RFC 7748 §5.2, test vector 2.
     #[test]
     fn rfc7748_vector_2() {
-        let scalar =
-            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
-        let point =
-            unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
         let out = x25519(&scalar, &point);
         assert_eq!(
             hex(&out),
@@ -336,8 +332,7 @@ mod tests {
     fn rfc7748_diffie_hellman() {
         let alice_priv =
             unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
-        let bob_priv =
-            unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_priv = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
         let alice_pub = public_key(&alice_priv);
         assert_eq!(
             hex(&alice_pub),
@@ -408,8 +403,7 @@ mod tests {
     #[test]
     fn canonical_reduction_of_p_plus_one() {
         // p + 1 must serialize as 1.
-        let p_plus_1 =
-            unhex32("eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+        let p_plus_1 = unhex32("eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
         let fe = Fe::from_bytes(&p_plus_1);
         // from_bytes drops the top bit only; p+1 < 2^255 so it is parsed
         // in full and must reduce to 1 on serialization.

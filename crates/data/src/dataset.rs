@@ -51,9 +51,14 @@ impl Dataset {
         num_classes: usize,
     ) -> Result<Self, DataError> {
         let volume = dims.volume();
-        if volume == 0 || inputs.len() % volume != 0 || inputs.len() / volume != labels.len() {
+        let examples = if volume == 0 || !inputs.len().is_multiple_of(volume) {
+            None
+        } else {
+            Some(inputs.len() / volume)
+        };
+        if examples != Some(labels.len()) {
             return Err(DataError::LengthMismatch {
-                inputs: if volume == 0 { 0 } else { inputs.len() / volume },
+                inputs: examples.unwrap_or(0),
                 labels: labels.len(),
             });
         }

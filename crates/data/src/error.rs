@@ -37,7 +37,10 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::LengthMismatch { inputs, labels } => {
-                write!(f, "input buffer holds {inputs} examples but {labels} labels given")
+                write!(
+                    f,
+                    "input buffer holds {inputs} examples but {labels} labels given"
+                )
             }
             DataError::IndexOutOfRange { index, len } => {
                 write!(f, "example index {index} out of range for {len} examples")

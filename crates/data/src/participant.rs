@@ -125,11 +125,7 @@ impl FederatedDataset {
     /// # Panics
     ///
     /// Panics if `background_fraction` is outside `[0, 1]`.
-    pub fn split_users<R: Rng + ?Sized>(
-        &self,
-        background_fraction: f64,
-        rng: &mut R,
-    ) -> UserSplit {
+    pub fn split_users<R: Rng + ?Sized>(&self, background_fraction: f64, rng: &mut R) -> UserSplit {
         assert!(
             (0.0..=1.0).contains(&background_fraction),
             "background_fraction must be in [0, 1]"

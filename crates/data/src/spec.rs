@@ -121,7 +121,7 @@ impl SyntheticSpec {
         if self.attribute_counts.len() != self.num_attributes {
             return fail("attribute_counts length must equal num_attributes");
         }
-        if self.attribute_counts.iter().any(|&c| c == 0) {
+        if self.attribute_counts.contains(&0) {
             return fail("every attribute class needs at least one participant");
         }
         if self.dims.volume() == 0 {
@@ -329,7 +329,11 @@ impl SyntheticSpec {
         }
         let global_test = Dataset::from_raw(self.dims, inputs, labels, self.num_classes)?;
 
-        Ok(FederatedDataset::new(self.clone(), participants, global_test))
+        Ok(FederatedDataset::new(
+            self.clone(),
+            participants,
+            global_test,
+        ))
     }
 }
 
@@ -434,7 +438,8 @@ mod tests {
             mobiact_like(1),
             lfw_like(1),
         ] {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 

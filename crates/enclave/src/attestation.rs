@@ -115,8 +115,14 @@ mod tests {
 
     #[test]
     fn measurement_is_deterministic() {
-        assert_eq!(Measurement::of_code(b"proxy v1"), Measurement::of_code(b"proxy v1"));
-        assert_ne!(Measurement::of_code(b"proxy v1"), Measurement::of_code(b"proxy v2"));
+        assert_eq!(
+            Measurement::of_code(b"proxy v1"),
+            Measurement::of_code(b"proxy v1")
+        );
+        assert_ne!(
+            Measurement::of_code(b"proxy v1"),
+            Measurement::of_code(b"proxy v2")
+        );
     }
 
     #[test]

@@ -139,7 +139,9 @@ impl Enclave {
     /// fit in the EPC (strict mode), or [`EnclaveError::Crypto`] if
     /// decryption fails.
     pub fn decrypt(&mut self, sealed: &[u8]) -> Result<Vec<u8>, EnclaveError> {
-        let plaintext_len = sealed.len().saturating_sub(mixnn_crypto::sealed_box::OVERHEAD);
+        let plaintext_len = sealed
+            .len()
+            .saturating_sub(mixnn_crypto::sealed_box::OVERHEAD);
         self.memory.allocate(plaintext_len)?;
         let result = SealedBox::open(sealed, &self.keypair);
         // The transient decryption buffer is released either way.

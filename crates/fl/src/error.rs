@@ -50,7 +50,10 @@ impl fmt::Display for FlError {
                 "incompatible update signatures: expected {expected:?}, got {actual:?}"
             ),
             FlError::MissingModelFor { client_id } => {
-                write!(f, "per-client dissemination missing a model for client {client_id}")
+                write!(
+                    f,
+                    "per-client dissemination missing a model for client {client_id}"
+                )
             }
             FlError::UnknownClient { client_id } => {
                 write!(f, "client {client_id} is not part of the simulation")

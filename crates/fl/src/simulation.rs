@@ -63,7 +63,7 @@ impl FlSimulation {
             server: AggregationServer::new(initial),
             sampler: StdRng::seed_from_u64(cfg.seed ^ 0x5e1ec7),
             cfg,
-        // rounds_run counts invocations of `run_round*`, used for seeding.
+            // rounds_run counts invocations of `run_round*`, used for seeding.
             rounds_run: 0,
         }
     }
@@ -115,7 +115,10 @@ impl FlSimulation {
     /// # Errors
     ///
     /// Propagates training, transport and aggregation failures.
-    pub fn run_round(&mut self, transport: &mut dyn UpdateTransport) -> Result<RoundOutcome, FlError> {
+    pub fn run_round(
+        &mut self,
+        transport: &mut dyn UpdateTransport,
+    ) -> Result<RoundOutcome, FlError> {
         let selected = self.sample_clients();
         let dissemination = Dissemination::Broadcast(self.server.global().clone());
         self.run_round_with(&selected, dissemination, transport)
@@ -159,20 +162,18 @@ impl FlSimulation {
         // Parallel local training, deterministic via per-client seeds.
         let cfg = self.cfg;
         let template = &self.template;
-        let results: Vec<Result<ModelUpdate, FlError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .iter()
-                    .map(|(client, model, seed)| {
-                        scope.spawn(move |_| client.train(template, model, &cfg, *seed))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client training thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope panicked");
+        let results: Vec<Result<ModelUpdate, FlError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .iter()
+                .map(|(client, model, seed)| {
+                    scope.spawn(move || client.train(template, model, &cfg, *seed))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client training thread panicked"))
+                .collect()
+        });
 
         let mut updates = Vec::with_capacity(results.len());
         for r in results {

@@ -73,9 +73,7 @@ fn probe_indices(len: usize) -> Vec<usize> {
     if len <= MAX_PROBES {
         (0..len).collect()
     } else {
-        (0..MAX_PROBES)
-            .map(|i| i * len / MAX_PROBES)
-            .collect()
+        (0..MAX_PROBES).map(|i| i * len / MAX_PROBES).collect()
     }
 }
 
@@ -99,9 +97,7 @@ fn relative_error(a: f32, n: f32) -> f32 {
 pub fn check_layer(mut layer: Box<dyn Layer>, input: &Tensor, tol: f32) -> Result<(), CheckError> {
     let out = layer.forward(input)?;
     // Fixed non-uniform weights, deterministic across runs.
-    let c = Tensor::from_fn(out.dims().to_vec(), |i| {
-        0.1 + 0.25 * ((i % 7) as f32 - 3.0)
-    });
+    let c = Tensor::from_fn(out.dims().to_vec(), |i| 0.1 + 0.25 * ((i % 7) as f32 - 3.0));
 
     layer.zero_grads();
     let analytic_dx = layer.backward(&c)?;

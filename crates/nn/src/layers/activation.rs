@@ -59,8 +59,7 @@ impl Layer for Relu {
                 actual: grad_output.dims().to_vec(),
             });
         }
-        Ok(grad_output
-            .zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })?)
+        Ok(grad_output.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })?)
     }
 
     fn params(&self) -> Option<LayerParams> {
@@ -128,7 +127,13 @@ mod tests {
     #[test]
     fn gradient_check_away_from_kink() {
         // Keep inputs away from 0 where ReLU is non-differentiable.
-        let x = Tensor::from_fn(vec![2, 6], |i| if i % 2 == 0 { 1.0 + i as f32 } else { -1.0 - i as f32 });
+        let x = Tensor::from_fn(vec![2, 6], |i| {
+            if i % 2 == 0 {
+                1.0 + i as f32
+            } else {
+                -1.0 - i as f32
+            }
+        });
         crate::gradcheck::check_layer(Box::new(Relu::new()), &x, 1e-2).unwrap();
     }
 }

@@ -217,8 +217,7 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix >= w as isize {
                                         continue;
                                     }
-                                    let xi =
-                                        ((b * ic_n + ic) * h + iy as usize) * w + ix as usize;
+                                    let xi = ((b * ic_n + ic) * h + iy as usize) * w + ix as usize;
                                     let wi = ((oc * ic_n + ic) * k + kh) * k + kw;
                                     self.grad_weights.data_mut()[wi] += go * x[xi];
                                     dx.data_mut()[xi] += go * self.weights.data()[wi];

@@ -99,10 +99,7 @@ impl Layer for Dense {
         {
             let data = out.data_mut();
             for b in 0..batch {
-                for (o, &bias) in data[b * of..(b + 1) * of]
-                    .iter_mut()
-                    .zip(self.bias.data())
-                {
+                for (o, &bias) in data[b * of..(b + 1) * of].iter_mut().zip(self.bias.data()) {
                     *o += bias;
                 }
             }
@@ -199,9 +196,7 @@ mod tests {
         // Set known parameters: W = rows of ones, b = [1, 2, 3].
         let mut params = vec![1.0f32; 6];
         params.extend_from_slice(&[1.0, 2.0, 3.0]);
-        layer
-            .set_params(&LayerParams::from_values(params))
-            .unwrap();
+        layer.set_params(&LayerParams::from_values(params)).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![10.0, 20.0]).unwrap();
         let y = layer.forward(&x).unwrap();
         assert_eq!(y.data(), &[31.0, 32.0, 33.0]);
@@ -212,10 +207,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = Dense::new(2, 3, &mut rng);
         let x = Tensor::zeros(vec![1, 5]);
-        assert!(matches!(
-            layer.forward(&x),
-            Err(NnError::BadInput { .. })
-        ));
+        assert!(matches!(layer.forward(&x), Err(NnError::BadInput { .. })));
     }
 
     #[test]

@@ -158,11 +158,7 @@ mod tests {
     #[test]
     fn forward_picks_window_maxima() {
         let mut pool = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 4],
-            vec![1., 9., 2., 3., 4., 5., 8., 6.],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 4], vec![1., 9., 2., 3., 4., 5., 8., 6.]).unwrap();
         let y = pool.forward(&x).unwrap();
         assert_eq!(y.dims(), &[1, 1, 1, 2]);
         assert_eq!(y.data(), &[9.0, 8.0]);

@@ -175,8 +175,7 @@ mod tests {
     #[test]
     fn evaluate_counts_accuracy() {
         let loss = SoftmaxCrossEntropy::new();
-        let logits =
-            Tensor::from_vec(vec![3, 2], vec![2.0, 1.0, 0.0, 5.0, 3.0, 1.0]).unwrap();
+        let logits = Tensor::from_vec(vec![3, 2], vec![2.0, 1.0, 0.0, 5.0, 3.0, 1.0]).unwrap();
         let eval = loss.evaluate(&logits, &[0, 1, 1]).unwrap();
         assert!((eval.accuracy - 2.0 / 3.0).abs() < 1e-6);
     }

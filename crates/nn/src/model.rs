@@ -106,9 +106,7 @@ impl Sequential {
             if layer.param_len() == 0 {
                 continue;
             }
-            let mut params = layer
-                .params()
-                .expect("trainable layer must expose params");
+            let mut params = layer.params().expect("trainable layer must expose params");
             let grads = layer.grads().expect("trainable layer must expose grads");
             optimizer.step(trainable_idx, params.values_mut(), grads.values());
             layer.set_params(&params)?;

@@ -172,14 +172,7 @@ impl ModelParams {
             .layers
             .iter()
             .zip(other.layers.iter())
-            .map(|(a, b)| {
-                LayerParams(
-                    a.0.iter()
-                        .zip(b.0.iter())
-                        .map(|(x, y)| x + y)
-                        .collect(),
-                )
-            })
+            .map(|(a, b)| LayerParams(a.0.iter().zip(b.0.iter()).map(|(x, y)| x + y).collect()))
             .collect();
         Some(ModelParams { layers })
     }

@@ -1,6 +1,6 @@
+use self::rand_distr_shim::StandardNormalShim;
 use crate::{Shape, TensorError};
 use rand::Rng;
-use rand_distr_shim::StandardNormalShim;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -297,7 +297,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
         self.check_same_shape(other)?;
         Ok(Tensor {
             shape: self.shape.clone(),

@@ -13,10 +13,10 @@
 
 use mixnn::attacks::{AttackMode, GradSim, GradSimConfig, InferenceExperiment};
 use mixnn::data::{lfw_like, AttributeMechanism, Dataset};
+use mixnn::enclave::AttestationService;
 use mixnn::fl::{DirectTransport, FlConfig};
 use mixnn::nn::zoo;
 use mixnn::proxy::{MixnnProxy, MixnnProxyConfig, MixnnTransport, TransportMode};
-use mixnn::enclave::AttestationService;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,21 +77,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Passive vs active against undefended FL, averaged over a few seeds
     // (the target set is small, so single runs are coarse).
-    for (name, mode) in [("passive", AttackMode::Passive), ("active", AttackMode::Active)] {
+    for (name, mode) in [
+        ("passive", AttackMode::Passive),
+        ("active", AttackMode::Active),
+    ] {
         let mut accuracies = Vec::new();
         for rep in 0..3u64 {
             let mut cfg = fl_cfg;
             cfg.seed = fl_cfg.seed + rep;
             let mut attack = attack_cfg.clone();
             attack.seed = attack_cfg.seed + rep;
-            let experiment = InferenceExperiment::new(
-                &population,
-                template.clone(),
-                cfg,
-                attack,
-                mode,
-                0.8,
-            );
+            let experiment =
+                InferenceExperiment::new(&population, template.clone(), cfg, attack, mode, 0.8);
             accuracies.push(experiment.run(&mut DirectTransport::new())?.final_accuracy);
         }
         let mean = accuracies.iter().sum::<f32>() / accuracies.len() as f32;

@@ -20,9 +20,9 @@ use rand::SeedableRng;
 // Re-use the bench harness's defense lineup machinery inline to keep the
 // example self-contained.
 use mixnn::attacks::GradSimConfig;
+use mixnn::enclave::AttestationService;
 use mixnn::fl::{DirectTransport, NoisyTransport, UpdateTransport};
 use mixnn::proxy::{MixnnProxy, MixnnProxyConfig, MixnnTransport, TransportMode};
-use mixnn::enclave::AttestationService;
 
 fn transports(seed: u64, sigma: f32) -> Vec<(&'static str, Box<dyn UpdateTransport>)> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..MixnnProxyConfig::default()
     };
     let mut proxy = MixnnProxy::launch(config, &service, &mut rng);
-    println!("enclave launched, EPC limit: {} MiB", proxy.memory_stats().limit / (1024 * 1024));
+    println!(
+        "enclave launched, EPC limit: {} MiB",
+        proxy.memory_stats().limit / (1024 * 1024)
+    );
 
     // --- Participant side: verify before trusting ----------------------
     let expected = Enclave::expected_measurement(&EnclaveConfig::default());
@@ -69,8 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mixed = proxy.mix_batch()?;
-    println!("mixed {} updates; plan row-distinct: {}", mixed.len(),
-        proxy.last_plan().map(|p| p.is_row_distinct()).unwrap_or(false));
+    println!(
+        "mixed {} updates; plan row-distinct: {}",
+        mixed.len(),
+        proxy
+            .last_plan()
+            .map(|p| p.is_row_distinct())
+            .unwrap_or(false)
+    );
 
     let stats = proxy.stats();
     println!(

@@ -8,10 +8,10 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use mixnn::data::motionsense_like;
+use mixnn::enclave::AttestationService;
 use mixnn::fl::{DirectTransport, FlConfig, FlSimulation};
 use mixnn::nn::zoo;
 use mixnn::proxy::{MixnnProxy, MixnnProxyConfig, MixnnTransport, TransportMode};
-use mixnn::enclave::AttestationService;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate, covering
+//! the cursor-style [`Buf`] / [`BufMut`] subset the wire codec uses.
+//!
+//! Semantics match upstream: multi-byte reads/writes are big-endian unless
+//! the method carries an `_le` suffix, and reads past the end panic (the
+//! codec always checks `remaining()` first).
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a big-endian `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_endianness() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32(0x4d49_584e);
+        out.put_u8(1);
+        out.put_f32_le(-2.5);
+        out.put_u64_le(99);
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.remaining(), 17);
+        assert_eq!(cursor.get_u32(), 0x4d49_584e);
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.get_f32_le(), -2.5);
+        assert_eq!(cursor.get_u64_le(), 99);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_magic_layout_matches_upstream() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32(0x4d49_584e);
+        assert_eq!(out, b"MIXN");
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn reading_past_end_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32();
+    }
+}

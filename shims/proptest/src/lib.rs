@@ -1,0 +1,184 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! range and collection strategies, `num::<ty>::ANY`, and the
+//! `prop_assert*` / `prop_assume!` macros. Each test function runs
+//! `ProptestConfig::cases` deterministic cases seeded from the test's path,
+//! so failures are reproducible run to run. Shrinking is not implemented —
+//! a failing case panics with the generated inputs' debug representation.
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Builds the deterministic per-test RNG used by generated test bodies.
+#[doc(hidden)]
+pub fn __rng_for_test(test_path: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test path: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(hash)
+}
+
+/// Property-test entry point; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            // The immediately-invoked closure gives `prop_assume!` an early
+            // exit per generated case.
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::__rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let __max_attempts = __config.cases.saturating_mul(16).max(1024);
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest shim: prop_assume rejected too many cases in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::Reject> =
+                        (move || {
+                            { $body }
+                            ::core::result::Result::Ok(())
+                        })();
+                    if __outcome.is_ok() {
+                        __accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the condition text on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::core::assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        ::core::assert!($cond, $($fmt)*);
+    };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        ::core::assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        ::core::assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        ::core::assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        ::core::assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_honour_bounds(x in 3usize..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(-1.0f32..1.0, 12)) {
+            prop_assert_eq!(v.len(), 12);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments on cases must parse.
+        #[test]
+        fn config_header_is_accepted(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn any_produces_varied_bits() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::__rng_for_test("any_produces_varied_bits");
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..64 {
+            distinct.insert(crate::num::f32::ANY.generate(&mut rng).to_bits());
+        }
+        assert!(distinct.len() > 32);
+    }
+}

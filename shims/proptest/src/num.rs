@@ -1,0 +1,77 @@
+//! Whole-domain numeric strategies (`proptest::num::<ty>::ANY`).
+//!
+//! Float `ANY` draws uniform *bit patterns*, so infinities, NaNs and
+//! subnormals all occur — matching what the workspace's codec round-trip
+//! tests rely on.
+
+macro_rules! any_int_module {
+    ($($mod_name:ident => $t:ty),*) => {$(
+        /// `ANY` strategy for the corresponding integer type.
+        pub mod $mod_name {
+            use crate::strategy::Strategy;
+            use rand::rngs::StdRng;
+            use rand::Rng;
+
+            /// Strategy over the type's full domain.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// Generates any value of this type.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+
+any_int_module!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize
+);
+
+/// `ANY` strategy for `f32` (uniform over bit patterns).
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy over all `f32` bit patterns, including NaN and ±∞.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates any `f32` bit pattern.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            f32::from_bits(rng.gen::<u32>())
+        }
+    }
+}
+
+/// `ANY` strategy for `f64` (uniform over bit patterns).
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy over all `f64` bit patterns, including NaN and ±∞.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates any `f64` bit pattern.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            f64::from_bits(rng.gen::<u64>())
+        }
+    }
+}

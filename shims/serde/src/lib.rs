@@ -1,0 +1,27 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The workspace only *declares* serde derives on its value types — nothing
+//! serializes through serde (the wire format is `mixnn_core::codec`). This
+//! shim therefore pairs no-op derive macros with blanket marker traits so
+//! `use serde::{Deserialize, Serialize}` and `T: Serialize` bounds keep
+//! working without crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the lifetime parameter mirrors upstream's signature).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` for imports like `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

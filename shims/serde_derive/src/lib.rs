@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates types with serde derives for downstream users but
+//! never serializes through serde itself (the wire format is the hand-rolled
+//! codec in `mixnn-core`). Offline, the derives therefore expand to nothing;
+//! the blanket impls in the `serde` shim keep any `T: Serialize` bound
+//! satisfied.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -11,13 +11,17 @@ use mixnn::data::{lfw_like, motionsense_like};
 use mixnn::enclave::AttestationService;
 use mixnn::fl::{DirectTransport, FlConfig, FlSimulation, NoisyTransport, UpdateTransport};
 use mixnn::nn::zoo;
-use mixnn::proxy::{
-    MixingStrategy, MixnnProxy, MixnnProxyConfig, MixnnTransport, TransportMode,
-};
+use mixnn::proxy::{MixingStrategy, MixnnProxy, MixnnProxyConfig, MixnnTransport, TransportMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn fixture(seed: u64) -> (mixnn::data::FederatedDataset, mixnn::nn::Sequential, FlConfig) {
+fn fixture(
+    seed: u64,
+) -> (
+    mixnn::data::FederatedDataset,
+    mixnn::nn::Sequential,
+    FlConfig,
+) {
     let mut spec = motionsense_like(seed);
     spec.train_per_participant = 24;
     spec.attribute_counts = vec![6, 6];

@@ -44,7 +44,7 @@ fn proxy_survives_garbage_between_valid_updates() {
         // Garbage of various shapes.
         assert!(p.submit_encrypted(&[]).is_err());
         assert!(p.submit_encrypted(&[0u8; 63]).is_err());
-        assert!(p.submit_encrypted(&vec![0xffu8; 200]).is_err());
+        assert!(p.submit_encrypted(&[0xffu8; 200]).is_err());
     }
     assert_eq!(p.stats().updates_received, 4);
     assert_eq!(p.stats().updates_rejected, 12);
@@ -104,13 +104,12 @@ fn epc_exhaustion_fails_the_offending_update_only() {
     let mut ok = 0;
     let mut exhausted = 0;
     for i in 0..4 {
-        let sealed =
-            SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng);
+        let sealed = SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng);
         match p.submit_encrypted(&sealed) {
             Ok(_) => ok += 1,
-            Err(ProxyError::Enclave(mixnn::enclave::EnclaveError::MemoryExhausted {
-                ..
-            })) => exhausted += 1,
+            Err(ProxyError::Enclave(mixnn::enclave::EnclaveError::MemoryExhausted { .. })) => {
+                exhausted += 1
+            }
             Err(other) => panic!("unexpected error: {other}"),
         }
     }
@@ -145,11 +144,8 @@ fn partial_participation_rounds_still_aggregate() {
 
     let service = AttestationService::new(&mut rng);
     let proxy = MixnnProxy::launch(MixnnProxyConfig::default(), &service, &mut rng);
-    let mut transport = mixnn::proxy::MixnnTransport::new(
-        proxy,
-        mixnn::proxy::TransportMode::Encrypted,
-        5,
-    );
+    let mut transport =
+        mixnn::proxy::MixnnTransport::new(proxy, mixnn::proxy::TransportMode::Encrypted, 5);
 
     // Only three of eight participants show up (dropped clients).
     let outcome = sim
