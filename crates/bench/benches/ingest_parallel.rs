@@ -1,0 +1,98 @@
+//! Parallel vs sequential ingest of a full encrypted round.
+//!
+//! The §6.5 breakdown makes decryption the proxy bottleneck; this bench
+//! measures how much of it worker threads buy back. Each iteration ingests
+//! `C` pre-sealed updates (decrypt → decode → ordered store) and batch-mixes
+//! them, for C ∈ {32, 128, 512} at 1, 2, 4 and 8 ingest workers. The
+//! outputs are bit-identical across worker counts (enforced by the
+//! determinism tests in `mixnn-core`), so the ratio between the 1-worker
+//! and N-worker lines is pure pipeline speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mixnn_core::{
+    codec, MixingStrategy, MixnnProxy, MixnnProxyConfig, ParallelIngest, Parallelism,
+};
+use mixnn_crypto::SealedBox;
+use mixnn_enclave::AttestationService;
+use mixnn_nn::{LayerParams, ModelParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const SIGNATURE: [usize; 4] = [1024, 1024, 512, 256];
+
+fn launch_proxy(workers: usize, rng: &mut StdRng) -> MixnnProxy {
+    let service = AttestationService::new(rng);
+    MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Batch,
+            expected_signature: SIGNATURE.to_vec(),
+            seed: 7,
+            parallelism: Parallelism {
+                ingest_workers: workers,
+                mix_shards: workers,
+                client_workers: 1,
+            },
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        rng,
+    )
+}
+
+fn sealed_round(proxy: &MixnnProxy, clients: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    (0..clients)
+        .map(|_| {
+            let params = ModelParams::from_layers(
+                SIGNATURE
+                    .iter()
+                    .map(|&len| {
+                        LayerParams::from_values(
+                            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            SealedBox::seal(&codec::encode_params(&params), proxy.public_key(), rng)
+        })
+        .collect()
+}
+
+fn bench_ingest_workers(c: &mut Criterion) {
+    for &clients in &[32usize, 128, 512] {
+        let mut group = c.benchmark_group(format!("ingest/C{clients}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(2))
+            .throughput(Throughput::Elements(clients as u64));
+        for &workers in &[1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("workers", workers),
+                &workers,
+                |b, &workers| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let reference = launch_proxy(workers, &mut rng);
+                    let sealed = sealed_round(&reference, clients, &mut rng);
+                    let ingest = ParallelIngest::new(workers);
+                    b.iter(|| {
+                        // A fresh proxy per iteration: ingest must include
+                        // the store stage into empty lists, as §6.5 does.
+                        // Re-seeding with the same value replays the launch
+                        // RNG draws, so this proxy holds the same enclave
+                        // keypair the round was sealed to.
+                        let mut rng = StdRng::seed_from_u64(3);
+                        let mut proxy = launch_proxy(workers, &mut rng);
+                        let results = ingest.submit_all(&mut proxy, &sealed);
+                        assert!(results.iter().all(Result::is_ok));
+                        proxy.mix_batch().unwrap()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest_workers);
+criterion_main!(benches);

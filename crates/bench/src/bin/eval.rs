@@ -1,7 +1,7 @@
 //! `eval` — regenerates every evaluation artifact of the MixNN paper.
 //!
 //! ```text
-//! eval <fig5|fig6|fig7|fig8|fig9|sysperf|all> [options]
+//! eval <fig5|fig6|fig7|fig8|fig9|sysperf|throughput|all> [options]
 //!
 //! Options:
 //!   --dataset <cifar10|motionsense|mobiact|lfw>   one dataset (default: all four)
@@ -14,10 +14,19 @@
 //!   --radius <f32>                                 neighbour radius for fig9, on unit-normalized
 //!                                                  gradients (default 1.25; see EXPERIMENTS.md)
 //!   --clients <n>                                  clients for sysperf (default 16)
+//!   --out <path>                                   JSON artifact path for throughput
+//!                                                  (default BENCH_throughput.json)
 //! ```
+//!
+//! `throughput` sweeps the parallel ingest pipeline over worker counts
+//! {1,2,4,8} and round sizes {32,128,512} (quick: {8,32}), verifying that
+//! every configuration mixes bit-identically, and writes the measured
+//! speedups to the JSON artifact.
 
 use mixnn_attacks::AttackMode;
-use mixnn_bench::experiments::{background, inference, robustness, sysperf, utility, utility_cdf};
+use mixnn_bench::experiments::{
+    background, inference, robustness, sysperf, throughput, utility, utility_cdf,
+};
 use mixnn_bench::{report, DatasetKind, Defense, ExperimentScale, ExperimentSetup};
 use std::process::ExitCode;
 
@@ -32,6 +41,7 @@ struct Options {
     round: usize,
     radius: f32,
     clients: usize,
+    out: String,
 }
 
 impl Default for Options {
@@ -46,6 +56,7 @@ impl Default for Options {
             round: 6,
             radius: 1.25,
             clients: 16,
+            out: "BENCH_throughput.json".to_string(),
         }
     }
 }
@@ -81,6 +92,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--clients" => {
                 opts.clients = take_value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
+            "--out" => opts.out = take_value(&mut i)?,
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -242,10 +254,49 @@ fn run_sysperf(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_throughput(opts: &Options) -> Result<(), String> {
+    let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, opts.scale, opts.seed);
+    let clients: &[usize] = match opts.scale {
+        ExperimentScale::Paper => &throughput::DEFAULT_CLIENTS,
+        ExperimentScale::Quick => &[8, 32],
+    };
+    let results = throughput::run(&setup, clients, &throughput::DEFAULT_WORKERS)
+        .map_err(|e| e.to_string())?;
+    report::print_table(
+        "Ingest throughput: parallel pipeline vs sequential (encrypted path)",
+        &[
+            "clients",
+            "workers",
+            "ingest ms",
+            "mix ms",
+            "updates/s",
+            "speedup",
+        ],
+        &throughput::rows(&results),
+    );
+    std::fs::write(&opts.out, throughput::to_json(&results))
+        .map_err(|e| format!("writing {}: {e}", opts.out))?;
+    let threads = throughput::hardware_threads();
+    println!(
+        "\nAll worker counts produced bit-identical mixed outputs (verified).\n\
+         Results written to {}.",
+        opts.out
+    );
+    println!("Hardware threads available: {threads}.");
+    if threads < 4 {
+        println!(
+            "NOTE: fewer than 4 hardware threads — worker counts beyond {threads} cannot\n\
+             speed up the wall-clock on this host; expect speedup ~1.0x here and\n\
+             ~min(workers, cores)x on the decrypt share of the budget elsewhere."
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
-        eprintln!("usage: eval <fig5|fig6|fig7|fig8|fig9|sysperf|all> [options]");
+        eprintln!("usage: eval <fig5|fig6|fig7|fig8|fig9|sysperf|throughput|all> [options]");
         return ExitCode::FAILURE;
     };
     let opts = match parse_options(rest) {
@@ -262,12 +313,14 @@ fn main() -> ExitCode {
         "fig8" => run_fig8(&opts),
         "fig9" => run_fig9(&opts),
         "sysperf" => run_sysperf(&opts),
+        "throughput" => run_throughput(&opts),
         "all" => run_fig5(&opts)
             .and_then(|()| run_fig6(&opts))
             .and_then(|()| run_fig7(&opts))
             .and_then(|()| run_fig8(&opts))
             .and_then(|()| run_fig9(&opts))
-            .and_then(|()| run_sysperf(&opts)),
+            .and_then(|()| run_sysperf(&opts))
+            .and_then(|()| run_throughput(&opts)),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {

@@ -2,7 +2,7 @@
 
 use mixnn_attacks::GradSimConfig;
 use mixnn_data::SyntheticSpec;
-use mixnn_fl::{FlConfig, OptimizerKind};
+use mixnn_fl::{FlConfig, OptimizerKind, Parallelism};
 use mixnn_nn::{zoo, Sequential};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,6 +102,7 @@ impl ExperimentSetup {
                     learning_rate: 0.005,
                     optimizer: OptimizerKind::Adam,
                     seed,
+                    parallelism: Parallelism::available(),
                 },
                 4,
                 32,
@@ -116,6 +117,7 @@ impl ExperimentSetup {
                     learning_rate: 0.005,
                     optimizer: OptimizerKind::Adam,
                     seed,
+                    parallelism: Parallelism::available(),
                 },
                 4,
                 32,
@@ -130,6 +132,7 @@ impl ExperimentSetup {
                     learning_rate: 0.005,
                     optimizer: OptimizerKind::Adam,
                     seed,
+                    parallelism: Parallelism::available(),
                 },
                 4,
                 32,
@@ -144,6 +147,7 @@ impl ExperimentSetup {
                     learning_rate: 0.005,
                     optimizer: OptimizerKind::Adam,
                     seed,
+                    parallelism: Parallelism::available(),
                 },
                 4,
                 32,

@@ -4,5 +4,6 @@ pub mod background;
 pub mod inference;
 pub mod robustness;
 pub mod sysperf;
+pub mod throughput;
 pub mod utility;
 pub mod utility_cdf;

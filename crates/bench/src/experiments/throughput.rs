@@ -1,0 +1,275 @@
+//! Ingest throughput of the parallel proxy pipeline.
+//!
+//! §6.5 shows decryption dominating the proxy's per-update budget; the
+//! parallel ingest front-end exists to buy that time back with worker
+//! threads. This experiment measures it: `C` pre-sealed updates pushed
+//! through the full encrypted pipeline (decrypt → store → batch mix) at
+//! several ingest worker counts, reporting updates/second and the speedup
+//! over the sequential front-end. Every configuration is verified to
+//! produce **bit-identical** mixed outputs — parallelism is a throughput
+//! knob, never a semantics knob.
+//!
+//! Results are also dumped to `BENCH_throughput.json` so speedups land in
+//! a machine-readable artifact alongside the criterion benches.
+
+use crate::ExperimentSetup;
+use mixnn_attacks::AttackError;
+use mixnn_core::{
+    codec, MixingStrategy, MixnnProxy, MixnnProxyConfig, ParallelIngest, Parallelism,
+};
+use mixnn_crypto::SealedBox;
+use mixnn_enclave::AttestationService;
+use mixnn_nn::{LayerParams, ModelParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One measured (clients, workers) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Updates ingested in the round (the paper's `C`).
+    pub clients: usize,
+    /// Ingest worker threads used.
+    pub workers: usize,
+    /// Per-layer mix shard tasks used.
+    pub mix_shards: usize,
+    /// Wall-clock seconds for the whole ingest (decrypt + store).
+    pub ingest_seconds: f64,
+    /// Wall-clock seconds for the batch mix.
+    pub mix_seconds: f64,
+    /// Accepted updates per second of ingest wall-clock.
+    pub updates_per_sec: f64,
+    /// Ingest speedup over the 1-worker row of the same client count.
+    pub speedup_vs_sequential: f64,
+}
+
+/// The worker counts swept by default (1 is the sequential baseline).
+pub const DEFAULT_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// The round sizes swept by default.
+pub const DEFAULT_CLIENTS: [usize; 3] = [32, 128, 512];
+
+/// A synthetic multi-layer update sized so decryption does §6.5-realistic
+/// work without making the sweep take minutes.
+fn synth_update(signature: &[usize], seed: u64) -> ModelParams {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ModelParams::from_layers(
+        signature
+            .iter()
+            .map(|&len| {
+                LayerParams::from_values((0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            })
+            .collect(),
+    )
+}
+
+fn launch(signature: Vec<usize>, seed: u64, parallelism: Parallelism) -> MixnnProxy {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a31);
+    let service = AttestationService::new(&mut rng);
+    MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy: MixingStrategy::Batch,
+            expected_signature: signature,
+            seed,
+            parallelism,
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        &mut rng,
+    )
+}
+
+/// Runs the ingest-throughput sweep.
+///
+/// For each client count, the same `C` sealed updates go through a fresh
+/// proxy at each worker count; the mixed outputs of every configuration
+/// are asserted identical to the sequential ones (fixed seeds), so the
+/// reported speedups are for provably equivalent work.
+///
+/// # Errors
+///
+/// Propagates proxy failures as [`AttackError::Fl`]-wrapped transport
+/// errors.
+pub fn run(
+    setup: &ExperimentSetup,
+    client_counts: &[usize],
+    worker_counts: &[usize],
+) -> Result<Vec<ThroughputRow>, AttackError> {
+    // Five layers, ~8k parameters: the §6.5 cost shape (decrypt-dominated)
+    // at a size where C=512 stays a smoke-runnable sweep.
+    let signature: Vec<usize> = vec![2048, 2048, 2048, 1024, 512];
+    let seed = setup.fl.seed;
+    let mut rows = Vec::new();
+    if worker_counts.is_empty() {
+        return Ok(rows);
+    }
+
+    for &clients in client_counts {
+        // Seal once per client count; every worker configuration ingests
+        // the same ciphertexts.
+        let reference = launch(signature.clone(), seed, Parallelism::sequential());
+        let mut seal_rng = StdRng::seed_from_u64(seed ^ 0x11);
+        let sealed: Vec<Vec<u8>> = (0..clients)
+            .map(|i| {
+                let p = synth_update(&signature, seed ^ (i as u64) << 8);
+                SealedBox::seal(
+                    &codec::encode_params(&p),
+                    reference.public_key(),
+                    &mut seal_rng,
+                )
+            })
+            .collect();
+
+        // One untimed warm-up pass so the first timed configuration is not
+        // penalized with cold caches and first-touch page faults. It runs
+        // fully sequentially, so its mixed outputs double as the
+        // sequential reference every configuration must reproduce.
+        let sequential_mixed = {
+            let mut warm = launch(signature.clone(), seed, Parallelism::sequential());
+            for r in ParallelIngest::new(1).submit_all(&mut warm, &sealed) {
+                r.map_err(mixnn_fl::FlError::from)?;
+            }
+            warm.mix_batch().map_err(mixnn_fl::FlError::from)?
+        };
+
+        let mut client_rows = Vec::with_capacity(worker_counts.len());
+        for &workers in worker_counts {
+            let parallelism = Parallelism {
+                ingest_workers: workers,
+                mix_shards: workers,
+                client_workers: 1,
+            };
+            let mut proxy = launch(signature.clone(), seed, parallelism);
+            let ingest = ParallelIngest::new(workers);
+
+            let t0 = Instant::now();
+            let results = ingest.submit_all(&mut proxy, &sealed);
+            let ingest_seconds = t0.elapsed().as_secs_f64();
+            for r in results {
+                r.map_err(mixnn_fl::FlError::from)?;
+            }
+
+            let t1 = Instant::now();
+            let mixed = proxy.mix_batch().map_err(mixnn_fl::FlError::from)?;
+            let mix_seconds = t1.elapsed().as_secs_f64();
+
+            assert_eq!(
+                sequential_mixed, mixed,
+                "parallel pipeline diverged at {workers} workers"
+            );
+
+            let stats = proxy.stats();
+            client_rows.push(ThroughputRow {
+                clients,
+                workers,
+                mix_shards: workers,
+                ingest_seconds,
+                mix_seconds,
+                updates_per_sec: stats.throughput_updates_per_sec(ingest_seconds),
+                speedup_vs_sequential: 1.0, // filled in below
+            });
+        }
+        // The speedup baseline is the workers == 1 row when the sweep has
+        // one; a sweep without it falls back to its first row (and the
+        // column then reads "vs the slowest swept config", not "vs
+        // sequential").
+        let baseline = client_rows
+            .iter()
+            .find(|r| r.workers == 1)
+            .unwrap_or(&client_rows[0])
+            .ingest_seconds;
+        for row in &mut client_rows {
+            row.speedup_vs_sequential = if row.ingest_seconds > 0.0 {
+                baseline / row.ingest_seconds
+            } else {
+                1.0
+            };
+        }
+        rows.extend(client_rows);
+    }
+    Ok(rows)
+}
+
+/// Formats throughput rows for the report table.
+pub fn rows(results: &[ThroughputRow]) -> Vec<Vec<String>> {
+    results
+        .iter()
+        .map(|r| {
+            vec![
+                r.clients.to_string(),
+                r.workers.to_string(),
+                crate::report::fmt_ms(r.ingest_seconds),
+                crate::report::fmt_ms(r.mix_seconds),
+                format!("{:.1}", r.updates_per_sec),
+                format!("{:.2}x", r.speedup_vs_sequential),
+            ]
+        })
+        .collect()
+}
+
+/// Hardware threads available to the sweep. Worker counts beyond this are
+/// still *correct* (determinism is verified) but cannot speed anything up;
+/// the JSON artifact records it so speedups are interpreted against the
+/// right ceiling.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Serializes throughput rows as a JSON artifact (`BENCH_throughput.json`
+/// by convention) — hand-rolled because the offline serde shim does not
+/// serialize.
+pub fn to_json(results: &[ThroughputRow]) -> String {
+    let mut out = format!(
+        "{{\n  \"experiment\": \"ingest_throughput\",\n  \"hardware_threads\": {},\n  \"rows\": [\n",
+        hardware_threads()
+    );
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"workers\": {}, \"mix_shards\": {}, \
+             \"ingest_seconds\": {:.6}, \"mix_seconds\": {:.6}, \
+             \"updates_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            r.clients,
+            r.workers,
+            r.mix_shards,
+            r.ingest_seconds,
+            r.mix_seconds,
+            r.updates_per_sec,
+            r.speedup_vs_sequential,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, ExperimentScale};
+
+    #[test]
+    fn sweep_measures_and_verifies_determinism() {
+        let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, ExperimentScale::Quick, 1);
+        // Small cells: determinism is asserted inside run().
+        let rows = run(&setup, &[8], &[1, 2, 4]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].workers, 1);
+        assert!((rows[0].speedup_vs_sequential - 1.0).abs() < 1e-9);
+        for r in &rows {
+            assert!(r.updates_per_sec > 0.0);
+            assert!(r.ingest_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed_enough() {
+        let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, ExperimentScale::Quick, 1);
+        let rows = run(&setup, &[4], &[1, 2]).unwrap();
+        let json = to_json(&rows);
+        assert!(json.contains("\"ingest_throughput\""));
+        assert_eq!(json.matches("\"workers\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`experiments::background`] | Fig. 8 — inference vs background knowledge |
 //! | [`experiments::robustness`] | Fig. 9 — CDF of close-gradient neighbours |
 //! | [`experiments::sysperf`] | §6.5 — proxy cost and memory breakdown |
+//! | [`experiments::throughput`] | beyond the paper — parallel-ingest scaling (`BENCH_throughput.json`) |
 //!
 //! Experiments come in two scales: `paper` (the §6.1.4 round/epoch/batch
 //! parameters) and `quick` (shrunk for smoke tests). Absolute numbers

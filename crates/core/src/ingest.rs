@@ -1,0 +1,318 @@
+//! Staged, parallel ingest of sealed updates.
+//!
+//! §6.5's cost breakdown makes decryption the proxy's bottleneck (0.17 s
+//! of the 0.19 s per-update budget), and decryption is per-update
+//! independent. [`ParallelIngest`] exploits exactly that split: the
+//! stateless stage ([`MixnnProxy::ingest_stage`] — decrypt, decode,
+//! validate, charge the EPC) fans out across scoped worker threads, while
+//! the stateful stage ([`MixnnProxy::commit_staged`] — the ordered
+//! hand-off into the mixing lists) stays serialized in submission order.
+//!
+//! Because the workers perform only order-independent work and commits
+//! happen in input order, the observable outcome — accepted/rejected
+//! updates, streaming emissions, buffered batch, eventual [`crate::MixPlan`]
+//! — is **bit-identical at every worker count** for a fixed proxy seed.
+
+use crate::{MixnnProxy, ProxyError};
+use mixnn_fl::{map_chunked, Parallelism};
+use mixnn_nn::ModelParams;
+
+/// Fans the stateless half of ingest across worker threads, then commits
+/// in submission order.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_core::{codec, MixnnProxy, MixnnProxyConfig, ParallelIngest};
+/// use mixnn_crypto::SealedBox;
+/// use mixnn_enclave::AttestationService;
+/// use mixnn_nn::{LayerParams, ModelParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let service = AttestationService::new(&mut rng);
+/// let config = MixnnProxyConfig {
+///     expected_signature: vec![2],
+///     ..MixnnProxyConfig::default()
+/// };
+/// let mut proxy = MixnnProxy::launch(config, &service, &mut rng);
+/// let sealed: Vec<Vec<u8>> = (0..4)
+///     .map(|i| {
+///         let p = ModelParams::from_layers(vec![LayerParams::from_values(vec![i as f32; 2])]);
+///         SealedBox::seal(&codec::encode_params(&p), proxy.public_key(), &mut rng)
+///     })
+///     .collect();
+/// let results = ParallelIngest::new(4).submit_all(&mut proxy, &sealed);
+/// assert!(results.iter().all(Result::is_ok));
+/// assert_eq!(proxy.buffered(), 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelIngest {
+    workers: usize,
+}
+
+impl ParallelIngest {
+    /// Creates a front-end using up to `workers` ingest threads (clamped
+    /// to at least one; one means fully sequential).
+    pub fn new(workers: usize) -> Self {
+        ParallelIngest {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A front-end sized from a [`Parallelism`] config.
+    pub fn from_parallelism(parallelism: Parallelism) -> Self {
+        Self::new(parallelism.ingest_workers)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Ingests a whole round of sealed updates: stage 1 in parallel
+    /// (bounded chunks, so at most one chunk of EPC charges is staged but
+    /// uncommitted), stage 2 serialized in submission order.
+    ///
+    /// Returns one result per input, in input order — exactly what a loop
+    /// over [`MixnnProxy::submit_encrypted`] would have produced (streaming
+    /// emissions included), independent of the worker count. That includes
+    /// EPC exhaustion: staged charges transiently exceed what the
+    /// sequential loop would hold, so the moment a staged update reports
+    /// `MemoryExhausted` the front-end discards every not-yet-committed
+    /// staged charge and degrades to sequential ingest for the rest of the
+    /// call — re-running each remaining update under exactly the
+    /// sequential loop's memory conditions. Accept/reject outcomes are
+    /// therefore identical to sequential at every worker count; the only
+    /// cost of pressure is losing the fan-out.
+    pub fn submit_all(
+        &self,
+        proxy: &mut MixnnProxy,
+        sealed: &[Vec<u8>],
+    ) -> Vec<Result<Option<ModelParams>, ProxyError>> {
+        fn is_memory_exhausted<T>(r: &Result<T, ProxyError>) -> bool {
+            matches!(
+                r,
+                Err(ProxyError::Enclave(
+                    mixnn_enclave::EnclaveError::MemoryExhausted { .. }
+                ))
+            )
+        }
+
+        let mut results = Vec::with_capacity(sealed.len());
+        // Sticky once EPC pressure is seen: sequential from here on.
+        let mut degraded = false;
+        let chunk_len = self.workers.saturating_mul(STAGING_DEPTH).max(1);
+        for chunk in sealed.chunks(chunk_len) {
+            if degraded {
+                for s in chunk {
+                    let staged = proxy.ingest_stage(s);
+                    results.push(proxy.commit_staged(s.len(), staged));
+                }
+                continue;
+            }
+            let mut staged: Vec<Option<Result<crate::StagedUpdate, ProxyError>>> = {
+                let shared: &MixnnProxy = proxy;
+                map_chunked(chunk, self.workers, |s| shared.ingest_stage(s))
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            };
+            for (i, s) in chunk.iter().enumerate() {
+                let result = match staged[i].take() {
+                    Some(result) if !degraded => {
+                        if is_memory_exhausted(&result) {
+                            // Staged charges ahead of this update inflated
+                            // the budget; drop them and retry under the
+                            // sequential loop's exact conditions.
+                            degraded = true;
+                            for slot in staged.iter_mut().skip(i + 1) {
+                                if let Some(Ok(ahead)) = slot.take() {
+                                    proxy
+                                        .discard_staged(ahead)
+                                        .expect("EPC accounting underflow while discarding");
+                                }
+                            }
+                            proxy.ingest_stage(s)
+                        } else {
+                            result
+                        }
+                    }
+                    // Degraded mid-chunk: the staged result (and its EPC
+                    // charge, if any) was discarded above — re-ingest now,
+                    // when the budget matches the sequential loop's.
+                    _ => proxy.ingest_stage(s),
+                };
+                results.push(proxy.commit_staged(s.len(), result));
+            }
+        }
+        results
+    }
+}
+
+/// Staged-but-uncommitted updates are capped at `workers * STAGING_DEPTH`
+/// per chunk: deep enough to amortize thread spawns, shallow enough to
+/// bound the transient EPC overshoot parallel staging can add.
+const STAGING_DEPTH: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{codec, MixingStrategy, MixnnProxyConfig};
+    use mixnn_crypto::SealedBox;
+    use mixnn_enclave::AttestationService;
+    use mixnn_nn::LayerParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn proxy(strategy: MixingStrategy, seed: u64) -> (MixnnProxy, StdRng) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let service = AttestationService::new(&mut rng);
+        let proxy = MixnnProxy::launch(
+            MixnnProxyConfig {
+                strategy,
+                expected_signature: vec![2, 4],
+                seed,
+                ..MixnnProxyConfig::default()
+            },
+            &service,
+            &mut rng,
+        );
+        (proxy, rng)
+    }
+
+    fn sealed_updates(proxy: &MixnnProxy, c: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+        (0..c)
+            .map(|i| {
+                let p = ModelParams::from_layers(vec![
+                    LayerParams::from_values(vec![i as f32; 2]),
+                    LayerParams::from_values(vec![-(i as f32); 4]),
+                ]);
+                SealedBox::seal(&codec::encode_params(&p), proxy.public_key(), rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_batch_ingest_matches_sequential() {
+        let run = |workers: usize| {
+            let (mut p, mut rng) = proxy(MixingStrategy::Batch, 5);
+            let sealed = sealed_updates(&p, 13, &mut rng);
+            let results = ParallelIngest::new(workers).submit_all(&mut p, &sealed);
+            assert!(results.iter().all(Result::is_ok));
+            (p.mix_batch().unwrap(), p.last_plan().cloned(), p.stats())
+        };
+        let (seq_mixed, seq_plan, seq_stats) = run(1);
+        for workers in [2, 4, 7] {
+            let (mixed, plan, stats) = run(workers);
+            assert_eq!(seq_mixed, mixed, "workers={workers}");
+            assert_eq!(seq_plan, plan, "workers={workers}");
+            assert_eq!(stats.updates_received, seq_stats.updates_received);
+            assert_eq!(stats.bytes_received, seq_stats.bytes_received);
+        }
+    }
+
+    #[test]
+    fn parallel_streaming_ingest_matches_sequential() {
+        let run = |workers: usize| {
+            let (mut p, mut rng) = proxy(MixingStrategy::Streaming { k: 3 }, 6);
+            let sealed = sealed_updates(&p, 11, &mut rng);
+            let mut out: Vec<ModelParams> = ParallelIngest::new(workers)
+                .submit_all(&mut p, &sealed)
+                .into_iter()
+                .filter_map(|r| r.unwrap())
+                .collect();
+            out.extend(p.flush().unwrap());
+            out
+        };
+        let sequential = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(sequential, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tight_epc_budget_matches_sequential_accept_reject_pattern() {
+        // Staged charges transiently exceed what the sequential loop would
+        // hold; under a budget tight enough that this matters, the
+        // front-end must degrade so that accept/reject outcomes still
+        // match the sequential loop exactly — at every worker count.
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(8);
+            let service = AttestationService::new(&mut rng);
+            let p = MixnnProxy::launch(
+                MixnnProxyConfig {
+                    strategy: MixingStrategy::Streaming { k: 2 },
+                    expected_signature: vec![2, 4],
+                    seed: 13,
+                    enclave: mixnn_enclave::EnclaveConfig {
+                        // Fits the k=2 warm-up lists (48 B of footprints)
+                        // plus one 41 B decrypt buffer — but not the 89 B
+                        // steady-state peak, and certainly not a staged
+                        // chunk: sequential accepts the two warm-up
+                        // updates and rejects the rest, and the parallel
+                        // front-end must reproduce that exactly.
+                        epc_limit: 80,
+                        ..Default::default()
+                    },
+                    ..MixnnProxyConfig::default()
+                },
+                &service,
+                &mut rng,
+            );
+            (p, rng)
+        };
+        let pattern = |results: Vec<Result<Option<ModelParams>, ProxyError>>| {
+            results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(out) => format!("ok:{}", out.is_some()),
+                    Err(e) => format!("err:{e}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        let (seq_proxy, mut rng) = build();
+        let sealed = sealed_updates(&seq_proxy, 20, &mut rng);
+
+        let mut seq_proxy = seq_proxy;
+        let sequential: Vec<_> = sealed
+            .iter()
+            .map(|s| seq_proxy.submit_encrypted(s))
+            .collect();
+        let sequential = pattern(sequential);
+        assert!(
+            sequential.iter().any(|r| r.starts_with("err")),
+            "budget was not tight enough to exercise exhaustion"
+        );
+        assert!(
+            sequential.iter().any(|r| r.starts_with("ok")),
+            "budget rejected everything; test proves nothing"
+        );
+
+        for workers in [2, 4, 8] {
+            let (mut par_proxy, _) = build();
+            let results = ParallelIngest::new(workers).submit_all(&mut par_proxy, &sealed);
+            assert_eq!(sequential, pattern(results), "workers={workers}");
+            assert_eq!(
+                seq_proxy.memory_stats().allocated,
+                par_proxy.memory_stats().allocated,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_updates_surface_in_order_and_leak_nothing() {
+        let (mut p, mut rng) = proxy(MixingStrategy::Batch, 7);
+        let mut sealed = sealed_updates(&p, 4, &mut rng);
+        sealed.insert(2, vec![0u8; 64]); // garbage ciphertext mid-round
+        let results = ParallelIngest::new(4).submit_all(&mut p, &sealed);
+        assert!(results[2].is_err());
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 4);
+        assert_eq!(p.stats().updates_rejected, 1);
+        assert_eq!(p.stats().bytes_rejected, 64);
+        let mixed = p.mix_batch().unwrap();
+        assert_eq!(mixed.len(), 4);
+        assert_eq!(p.memory_stats().allocated, 0);
+    }
+}

@@ -23,6 +23,11 @@
 //!   algorithm with per-layer lists of size `k`;
 //! * [`MixnnProxy`] — the deployed object: enclave-resident, attested,
 //!   decrypts sealed updates, mixes, exposes §6.5-style cost statistics;
+//!   ingest is split into a stateless decrypt/decode stage and a
+//!   serialized store stage;
+//! * [`ParallelIngest`] — fans the stateless ingest stage across worker
+//!   threads (decryption dominates §6.5's budget and is per-update
+//!   independent), bit-identical to sequential ingest at any worker count;
 //! * [`MixnnTransport`] — plugs the proxy into the `mixnn-fl` round loop as
 //!   an [`mixnn_fl::UpdateTransport`];
 //! * [`codec`] — the serialized update wire format.
@@ -53,11 +58,15 @@
 
 pub mod codec;
 mod error;
+mod ingest;
 mod mixer;
 mod proxy;
 mod transport;
 
 pub use error::ProxyError;
-pub use mixer::{BatchMixer, MixPlan, MixingStrategy, StreamingMixer};
-pub use proxy::{MixnnProxy, MixnnProxyConfig, ProxyStats};
+pub use ingest::ParallelIngest;
+pub use mixer::{shard_seed, BatchMixer, MixPlan, MixingStrategy, StreamingMixer};
+// Re-exported so proxy configuration needs only this crate.
+pub use mixnn_fl::Parallelism;
+pub use proxy::{MixnnProxy, MixnnProxyConfig, ProxyStats, StagedUpdate};
 pub use transport::{MixnnTransport, TransportMode};

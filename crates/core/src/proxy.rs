@@ -1,9 +1,25 @@
 //! The deployed MixNN proxy.
+//!
+//! # Pipeline stages
+//!
+//! Ingest is split into two stages so the expensive half can run on many
+//! threads (§6.5: decryption is 0.17 s of the 0.19 s per-update budget):
+//!
+//! 1. [`MixnnProxy::ingest_stage`] — **stateless** per-update work:
+//!    decrypt, decode, validate against a known signature and charge the
+//!    EPC footprint. Takes `&self`; safe to call from any number of
+//!    workers at once (see [`crate::ParallelIngest`]).
+//! 2. [`MixnnProxy::commit_staged`] — **stateful** hand-off into the
+//!    per-layer lists (or the batch buffer), stats accounting included.
+//!    Takes `&mut self`; callers serialize commits in submission order,
+//!    which is what keeps the parallel pipeline bit-identical to the
+//!    sequential one.
 
 use crate::mixer::check_common_signature;
 use crate::{codec, BatchMixer, MixPlan, MixingStrategy, ProxyError, StreamingMixer};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
+use mixnn_fl::Parallelism;
 use mixnn_nn::ModelParams;
 use rand::Rng;
 use std::time::Instant;
@@ -24,6 +40,10 @@ pub struct MixnnProxyConfig {
     pub enclave: EnclaveConfig,
     /// RNG seed for mixing decisions inside the enclave.
     pub seed: u64,
+    /// Worker/shard counts for the concurrent pipeline. The proxy consumes
+    /// `ingest_workers` (decrypt/decode fan-out) and `mix_shards`
+    /// (per-layer mixing tasks); results are identical at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MixnnProxyConfig {
@@ -33,6 +53,7 @@ impl Default for MixnnProxyConfig {
             expected_signature: Vec::new(),
             enclave: EnclaveConfig::default(),
             seed: 0,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -52,6 +73,9 @@ pub struct ProxyStats {
     pub updates_rejected: u64,
     /// Ciphertext bytes received.
     pub bytes_received: u64,
+    /// Ciphertext bytes belonging to rejected updates (a subset of
+    /// [`ProxyStats::bytes_received`]).
+    pub bytes_rejected: u64,
     /// Total seconds spent decrypting.
     pub decrypt_seconds: f64,
     /// Total seconds spent decoding and storing into the layer lists.
@@ -93,6 +117,44 @@ impl ProxyStats {
     pub fn mean_process_seconds(&self) -> f64 {
         self.mean_decrypt_seconds() + self.mean_store_seconds()
     }
+
+    /// Accepted-update ingest rate over a measured wall-clock interval.
+    ///
+    /// The per-stage counters above are summed across workers, so under
+    /// parallel ingest they exceed wall-clock; rates must therefore be
+    /// computed against an externally measured `elapsed` (the throughput
+    /// experiment times the whole ingest of a round).
+    pub fn throughput_updates_per_sec(&self, elapsed_seconds: f64) -> f64 {
+        if elapsed_seconds <= 0.0 {
+            0.0
+        } else {
+            self.updates_received as f64 / elapsed_seconds
+        }
+    }
+}
+
+/// The outcome of the stateless ingest stage for one sealed update:
+/// decrypted, decoded, (where possible) validated, and charged against the
+/// EPC budget. Produced by [`MixnnProxy::ingest_stage`] and consumed in
+/// submission order by [`MixnnProxy::commit_staged`].
+#[derive(Debug)]
+pub struct StagedUpdate {
+    params: ModelParams,
+    footprint: usize,
+    decrypt_seconds: f64,
+    decode_seconds: f64,
+}
+
+impl StagedUpdate {
+    /// The decoded update's layer signature.
+    pub fn signature(&self) -> Vec<usize> {
+        self.params.signature()
+    }
+
+    /// EPC bytes charged for this update while it sits in the lists.
+    pub fn footprint(&self) -> usize {
+        self.footprint
+    }
 }
 
 /// The MixNN proxy: an enclave-resident service that receives encrypted
@@ -102,8 +164,8 @@ impl ProxyStats {
 /// See the crate docs for the privacy argument. The proxy's public surface
 /// mirrors a deployment: participants fetch [`MixnnProxy::quote`] and
 /// [`MixnnProxy::public_key`], verify, then submit sealed updates via
-/// [`MixnnProxy::submit_encrypted`]; the server-facing side emits mixed
-/// updates.
+/// [`MixnnProxy::submit_encrypted`] (or in bulk through
+/// [`crate::ParallelIngest`]); the server-facing side emits mixed updates.
 #[derive(Debug)]
 pub struct MixnnProxy {
     enclave: Enclave,
@@ -115,6 +177,8 @@ pub struct MixnnProxy {
     streaming: Option<StreamingMixer>,
     last_plan: Option<MixPlan>,
     stats: ProxyStats,
+    seed: u64,
+    parallelism: Parallelism,
 }
 
 impl MixnnProxy {
@@ -129,7 +193,12 @@ impl MixnnProxy {
         let enclave = Enclave::launch(config.enclave, attestation, rng);
         let streaming = match config.strategy {
             MixingStrategy::Streaming { k } if !config.expected_signature.is_empty() => Some(
-                StreamingMixer::new(config.expected_signature.clone(), k, config.seed ^ 0x57),
+                StreamingMixer::new(
+                    config.expected_signature.clone(),
+                    k,
+                    Self::streaming_seed(config.seed),
+                )
+                .with_shards(config.parallelism.mix_shards),
             ),
             _ => None,
         };
@@ -143,6 +212,8 @@ impl MixnnProxy {
             streaming,
             last_plan: None,
             stats: ProxyStats::default(),
+            seed: config.seed,
+            parallelism: config.parallelism,
         }
     }
 
@@ -159,6 +230,11 @@ impl MixnnProxy {
     /// The configured mixing strategy.
     pub fn strategy(&self) -> MixingStrategy {
         self.strategy
+    }
+
+    /// The configured pipeline worker/shard counts.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Full participant-side verification: the quote is signed by the
@@ -179,17 +255,23 @@ impl MixnnProxy {
         self.enclave.memory().stats()
     }
 
-    /// The mixing plan of the most recent batch round, for experiments and
-    /// audits (never exposed in a deployment).
+    /// The mixing plan of the most recent **batch** round — the one drawn
+    /// by [`MixnnProxy::mix_batch`] or [`MixnnProxy::mix_plaintext_round`]
+    /// — for experiments and audits (never exposed in a deployment).
+    ///
+    /// Streaming emission and [`MixnnProxy::flush`] never produce a
+    /// [`MixPlan`] (the §4.3 algorithm has no round-level matrix), so in
+    /// streaming mode this stays `None` / stays at the last batch plan.
     pub fn last_plan(&self) -> Option<&MixPlan> {
         self.last_plan.as_ref()
     }
 
     /// Updates currently buffered inside the enclave.
     pub fn buffered(&self) -> usize {
-        match (&self.streaming, self.strategy) {
-            (Some(s), _) => s.buffered(),
-            (None, _) => self.batch_buffer.len(),
+        if let Some(streaming) = &self.streaming {
+            streaming.buffered()
+        } else {
+            self.batch_buffer.len()
         }
     }
 
@@ -197,11 +279,10 @@ impl MixnnProxy {
         if self.signature.is_empty() {
             self.signature = params.signature();
             if let MixingStrategy::Streaming { k } = self.strategy {
-                self.streaming = Some(StreamingMixer::new(
-                    self.signature.clone(),
-                    k,
-                    self.batch_mixer_seed(),
-                ));
+                self.streaming = Some(
+                    StreamingMixer::new(self.signature.clone(), k, Self::streaming_seed(self.seed))
+                        .with_shards(self.parallelism.mix_shards),
+                );
             }
             return Ok(());
         }
@@ -214,10 +295,12 @@ impl MixnnProxy {
         Ok(())
     }
 
-    fn batch_mixer_seed(&self) -> u64 {
-        // Derive the streaming seed deterministically from the proxy's own
-        // mixer so late-bound signatures stay reproducible.
-        0x57_u64
+    /// Seed of the streaming mixer's per-layer RNG streams, derived from
+    /// the proxy's configured seed so a mixer bound late (signature adopted
+    /// from the first update) draws exactly the same streams as one
+    /// configured up front.
+    fn streaming_seed(seed: u64) -> u64 {
+        seed ^ 0x57
     }
 
     /// Ingests one encrypted update. In batch mode it is buffered until
@@ -225,7 +308,8 @@ impl MixnnProxy {
     /// emitted immediately.
     ///
     /// The plaintext is charged against the enclave's EPC budget while
-    /// buffered.
+    /// buffered. Equivalent to [`MixnnProxy::ingest_stage`] followed by
+    /// [`MixnnProxy::commit_staged`].
     ///
     /// # Errors
     ///
@@ -234,42 +318,103 @@ impl MixnnProxy {
     /// [`ProxyError::SignatureMismatch`] for foreign models. Rejected
     /// updates are counted and leave the proxy state unchanged.
     pub fn submit_encrypted(&mut self, sealed: &[u8]) -> Result<Option<ModelParams>, ProxyError> {
-        let result = self.submit_encrypted_inner(sealed);
-        if result.is_err() {
-            self.stats.updates_rejected += 1;
-        }
-        result
+        let staged = self.ingest_stage(sealed);
+        self.commit_staged(sealed.len(), staged)
     }
 
-    fn submit_encrypted_inner(&mut self, sealed: &[u8]) -> Result<Option<ModelParams>, ProxyError> {
-        self.stats.bytes_received += sealed.len() as u64;
-
+    /// Stage 1 of ingest: decrypt, decode, validate against the configured
+    /// signature (when one is known) and charge the update's EPC
+    /// footprint. **Stateless** — takes `&self` and touches only the
+    /// enclave's atomic memory accounting, so any number of workers may
+    /// run it concurrently on different sealed updates.
+    ///
+    /// The returned [`StagedUpdate`] owns its EPC charge; it must be handed
+    /// to [`MixnnProxy::commit_staged`] (which stores it or releases the
+    /// charge on rejection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MixnnProxy::submit_encrypted`], except that a
+    /// signature mismatch can also surface later, in the commit stage, when
+    /// the proxy infers its signature from the first committed update.
+    pub fn ingest_stage(&self, sealed: &[u8]) -> Result<StagedUpdate, ProxyError> {
         let t0 = Instant::now();
         let plaintext = self.enclave.decrypt(sealed)?;
-        self.stats.decrypt_seconds += t0.elapsed().as_secs_f64();
+        let decrypt_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let params = codec::decode_params(&plaintext)?;
-        self.check_signature(&params)?;
+        if !self.signature.is_empty() && params.signature() != self.signature {
+            return Err(ProxyError::SignatureMismatch {
+                expected: self.signature.clone(),
+                actual: params.signature(),
+            });
+        }
         // Charge the decoded update against the EPC while it sits in a
         // list (4 bytes per scalar, as in §6.5's per-update footprint).
         let footprint = params.total_len() * std::mem::size_of::<f32>();
-        self.enclave.memory_mut().allocate(footprint)?;
-        let emitted = match (&mut self.streaming, self.strategy) {
-            (Some(streaming), _) => {
-                let out = streaming.push(params)?;
-                if out.is_some() {
-                    // One update left the lists for every one that entered.
-                    self.enclave.memory_mut().free(footprint)?;
-                }
-                out
-            }
-            (None, _) => {
-                self.batch_buffer.push(params);
-                None
+        self.enclave.memory().allocate(footprint)?;
+        Ok(StagedUpdate {
+            params,
+            footprint,
+            decrypt_seconds,
+            decode_seconds: t1.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Stage 2 of ingest: the serialized hand-off of a staged update into
+    /// the mixing state, plus all stats accounting. `sealed_len` is the
+    /// ciphertext length of the corresponding submission (stats count it
+    /// whether or not the update was accepted, as the sequential path
+    /// always has).
+    ///
+    /// Accepts the stage-1 *result* so rejected updates flow through the
+    /// same accounting: pass the error through and it is counted (and its
+    /// ciphertext bytes recorded in [`ProxyStats::bytes_rejected`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the staged error, or returns
+    /// [`ProxyError::SignatureMismatch`] when signature inference rejects
+    /// the update at commit time; either way the EPC charge is released and
+    /// the proxy state is unchanged.
+    pub fn commit_staged(
+        &mut self,
+        sealed_len: usize,
+        staged: Result<StagedUpdate, ProxyError>,
+    ) -> Result<Option<ModelParams>, ProxyError> {
+        self.stats.bytes_received += sealed_len as u64;
+        let staged = match staged {
+            Ok(staged) => staged,
+            Err(e) => {
+                self.stats.updates_rejected += 1;
+                self.stats.bytes_rejected += sealed_len as u64;
+                return Err(e);
             }
         };
-        self.stats.store_seconds += t1.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        if let Err(e) = self.check_signature(&staged.params) {
+            // Stage 1 could not validate (signature still being inferred):
+            // release the staged charge and reject.
+            self.enclave.memory().free(staged.footprint)?;
+            self.stats.updates_rejected += 1;
+            self.stats.bytes_rejected += sealed_len as u64;
+            return Err(e);
+        }
+        let emitted = if let Some(streaming) = &mut self.streaming {
+            let out = streaming.push(staged.params)?;
+            if out.is_some() {
+                // One update left the lists for every one that entered.
+                self.enclave.memory().free(staged.footprint)?;
+            }
+            out
+        } else {
+            self.batch_buffer.push(staged.params);
+            None
+        };
+        self.stats.decrypt_seconds += staged.decrypt_seconds;
+        self.stats.store_seconds += staged.decode_seconds + t0.elapsed().as_secs_f64();
         self.stats.updates_received += 1;
 
         if let Some(out) = emitted {
@@ -280,8 +425,25 @@ impl MixnnProxy {
         }
     }
 
+    /// Releases the EPC charge of a staged update that will **not** be
+    /// committed. The parallel front-end uses this when it discards staged
+    /// work to degrade to sequential ingest under memory pressure; any
+    /// other holder of a [`StagedUpdate`] it decides not to commit should
+    /// do the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Enclave`] if the accounting underflows (a
+    /// proxy bug, surfaced rather than hidden).
+    pub fn discard_staged(&self, staged: StagedUpdate) -> Result<(), ProxyError> {
+        self.enclave.memory().free(staged.footprint)?;
+        Ok(())
+    }
+
     /// Batch mode: mixes everything buffered and returns the mixed updates
-    /// in slot order, freeing the enclave memory they occupied.
+    /// in slot order, freeing the enclave memory they occupied. The mix is
+    /// sharded per layer across up to `parallelism.mix_shards` threads;
+    /// the result is identical at every shard count.
     ///
     /// # Errors
     ///
@@ -289,14 +451,16 @@ impl MixnnProxy {
     pub fn mix_batch(&mut self) -> Result<Vec<ModelParams>, ProxyError> {
         let t0 = Instant::now();
         let updates = std::mem::take(&mut self.batch_buffer);
-        let result = self.batch_mixer.mix(&updates);
+        let result = self
+            .batch_mixer
+            .mix_sharded(&updates, self.parallelism.mix_shards);
         match result {
             Ok((mixed, plan)) => {
                 let footprint: usize = updates
                     .iter()
                     .map(|u| u.total_len() * std::mem::size_of::<f32>())
                     .sum();
-                self.enclave.memory_mut().free(footprint)?;
+                self.enclave.memory().free(footprint)?;
                 self.stats.mix_seconds += t0.elapsed().as_secs_f64();
                 self.stats.updates_forwarded += mixed.len() as u64;
                 self.last_plan = Some(plan);
@@ -312,6 +476,10 @@ impl MixnnProxy {
 
     /// Streaming mode: drains the lists at shutdown.
     ///
+    /// Flushing emits the residual list contents position-wise; it draws no
+    /// [`MixPlan`], so [`MixnnProxy::last_plan`] — which describes only
+    /// batch rounds — is deliberately left untouched.
+    ///
     /// # Errors
     ///
     /// Returns [`ProxyError::Enclave`] if the memory accounting
@@ -324,7 +492,7 @@ impl MixnnProxy {
                     .iter()
                     .map(|u| u.total_len() * std::mem::size_of::<f32>())
                     .sum();
-                self.enclave.memory_mut().free(footprint)?;
+                self.enclave.memory().free(footprint)?;
                 self.stats.updates_forwarded += out.len() as u64;
                 Ok(out)
             }
@@ -350,7 +518,9 @@ impl MixnnProxy {
             self.stats.updates_received += 1;
         }
         let t0 = Instant::now();
-        let (mixed, plan) = self.batch_mixer.mix(&updates)?;
+        let (mixed, plan) = self
+            .batch_mixer
+            .mix_sharded(&updates, self.parallelism.mix_shards)?;
         self.stats.mix_seconds += t0.elapsed().as_secs_f64();
         self.stats.updates_forwarded += mixed.len() as u64;
         self.last_plan = Some(plan);
@@ -437,7 +607,10 @@ mod tests {
     fn garbage_ciphertext_is_rejected_and_counted() {
         let (mut proxy, _, _) = launch(MixingStrategy::Batch);
         assert!(proxy.submit_encrypted(&[0u8; 80]).is_err());
-        assert_eq!(proxy.stats().updates_rejected, 1);
+        let stats = proxy.stats();
+        assert_eq!(stats.updates_rejected, 1);
+        assert_eq!(stats.bytes_rejected, 80);
+        assert_eq!(stats.bytes_received, 80);
         assert_eq!(proxy.buffered(), 0);
     }
 
@@ -446,12 +619,14 @@ mod tests {
         let (mut proxy, _, mut rng) = launch(MixingStrategy::Batch);
         let alien = ModelParams::from_layers(vec![LayerParams::from_values(vec![1.0])]);
         let sealed = seal(&proxy, &alien, &mut rng);
+        let sealed_len = sealed.len() as u64;
         assert!(matches!(
             proxy.submit_encrypted(&sealed),
             Err(ProxyError::SignatureMismatch { .. })
         ));
-        // Rejected update must not leak memory.
+        // Rejected update must not leak memory, and its bytes are counted.
         assert_eq!(proxy.memory_stats().allocated, 0);
+        assert_eq!(proxy.stats().bytes_rejected, sealed_len);
     }
 
     #[test]
@@ -474,6 +649,9 @@ mod tests {
         let alien = ModelParams::from_layers(vec![LayerParams::from_values(vec![1.0])]);
         let sealed = seal(&proxy, &alien, &mut rng);
         assert!(proxy.submit_encrypted(&sealed).is_err());
+        // The rejected update's staged EPC charge was released.
+        let accepted_footprint = params(0).total_len() * std::mem::size_of::<f32>();
+        assert_eq!(proxy.memory_stats().allocated, accepted_footprint);
     }
 
     #[test]
@@ -513,5 +691,51 @@ mod tests {
             }
         }
         assert!(failures > 0, "EPC limit was never enforced");
+    }
+
+    #[test]
+    fn late_bound_streaming_mixer_matches_preconfigured_seed_derivation() {
+        // Regression for the hardcoded `0x57` streaming seed: a proxy that
+        // adopts its signature from the first update must derive the same
+        // `seed ^ 0x57` streams as one configured with the signature up
+        // front — identical emissions, update for update.
+        let run = |preconfigure: bool| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let service = AttestationService::new(&mut rng);
+            let config = MixnnProxyConfig {
+                strategy: MixingStrategy::Streaming { k: 3 },
+                expected_signature: if preconfigure { vec![3, 2] } else { Vec::new() },
+                seed: 1234,
+                ..MixnnProxyConfig::default()
+            };
+            let mut proxy = MixnnProxy::launch(config, &service, &mut rng);
+            let mut out = Vec::new();
+            for i in 0..10 {
+                let sealed = seal(&proxy, &params(i), &mut rng);
+                if let Some(m) = proxy.submit_encrypted(&sealed).unwrap() {
+                    out.push(m);
+                }
+            }
+            out.extend(proxy.flush().unwrap());
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn staged_ingest_matches_submit_encrypted() {
+        // ingest_stage + commit_staged is exactly submit_encrypted.
+        let (mut split, _, mut rng) = launch(MixingStrategy::Batch);
+        let (mut fused, _, mut rng2) = launch(MixingStrategy::Batch);
+        for i in 0..4 {
+            let sealed = seal(&split, &params(i), &mut rng);
+            let staged = split.ingest_stage(&sealed);
+            split.commit_staged(sealed.len(), staged).unwrap();
+            let sealed = seal(&fused, &params(i), &mut rng2);
+            fused.submit_encrypted(&sealed).unwrap();
+        }
+        assert_eq!(split.mix_batch().unwrap(), fused.mix_batch().unwrap());
+        assert_eq!(split.stats().updates_received, 4);
+        assert_eq!(split.last_plan(), fused.last_plan());
     }
 }

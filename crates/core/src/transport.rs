@@ -1,6 +1,6 @@
 //! Plugging the proxy into the federated round loop.
 
-use crate::{codec, MixingStrategy, MixnnProxy, ProxyError};
+use crate::{codec, MixingStrategy, MixnnProxy, ParallelIngest, ProxyError};
 use mixnn_crypto::SealedBox;
 use mixnn_fl::{FlError, ModelUpdate, UpdateTransport};
 use mixnn_nn::ModelParams;
@@ -76,12 +76,25 @@ impl MixnnTransport {
         let mixed: Vec<ModelParams> = match self.mode {
             TransportMode::Plaintext => self.proxy.mix_plaintext_round(params)?,
             TransportMode::Encrypted => {
+                // Sealing stays serialized (one RNG stands in for all
+                // participants' entropy); ingest fans out across the
+                // proxy's configured worker count, with the store stage
+                // committed in submission order — same result as the
+                // sequential loop at every worker count.
+                let sealed: Vec<Vec<u8>> = params
+                    .iter()
+                    .map(|p| {
+                        SealedBox::seal(
+                            &codec::encode_params(p),
+                            self.proxy.public_key(),
+                            &mut self.participant_rng,
+                        )
+                    })
+                    .collect();
+                let ingest = ParallelIngest::from_parallelism(self.proxy.parallelism());
                 let mut streamed = Vec::new();
-                for p in &params {
-                    let bytes = codec::encode_params(p);
-                    let sealed =
-                        SealedBox::seal(&bytes, self.proxy.public_key(), &mut self.participant_rng);
-                    if let Some(out) = self.proxy.submit_encrypted(&sealed)? {
+                for result in ingest.submit_all(&mut self.proxy, &sealed) {
+                    if let Some(out) = result? {
                         streamed.push(out);
                     }
                 }

@@ -1,0 +1,172 @@
+//! The parallel pipeline's load-bearing property: worker and shard counts
+//! are throughput knobs, never semantics knobs. For fixed seeds, parallel
+//! ingest plus sharded mixing must produce byte-identical mixed outputs —
+//! and an identical `MixPlan` — to the fully sequential path, at every
+//! worker count.
+
+use mixnn_core::{
+    codec, MixPlan, MixingStrategy, MixnnProxy, MixnnProxyConfig, ParallelIngest, Parallelism,
+};
+use mixnn_crypto::SealedBox;
+use mixnn_enclave::AttestationService;
+use mixnn_nn::{LayerParams, ModelParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn signature(layers: usize) -> Vec<usize> {
+    (0..layers).map(|l| 3 + (l % 4) * 2).collect()
+}
+
+fn launch(
+    strategy: MixingStrategy,
+    layers: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> MixnnProxy {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa5);
+    let service = AttestationService::new(&mut rng);
+    MixnnProxy::launch(
+        MixnnProxyConfig {
+            strategy,
+            expected_signature: signature(layers),
+            seed,
+            parallelism,
+            ..MixnnProxyConfig::default()
+        },
+        &service,
+        &mut rng,
+    )
+}
+
+fn sealed_round(proxy: &MixnnProxy, clients: usize, layers: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc3);
+    (0..clients)
+        .map(|_| {
+            let params = ModelParams::from_layers(
+                signature(layers)
+                    .into_iter()
+                    .map(|len| {
+                        LayerParams::from_values(
+                            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            SealedBox::seal(&codec::encode_params(&params), proxy.public_key(), &mut rng)
+        })
+        .collect()
+}
+
+/// Runs one full encrypted batch round at the given parallelism and
+/// returns everything observable: the mixed updates and the plan.
+fn batch_round(
+    clients: usize,
+    layers: usize,
+    seed: u64,
+    workers: usize,
+    shards: usize,
+) -> (Vec<ModelParams>, MixPlan) {
+    let parallelism = Parallelism {
+        ingest_workers: workers,
+        mix_shards: shards,
+        client_workers: 1,
+    };
+    let mut proxy = launch(MixingStrategy::Batch, layers, seed, parallelism);
+    let sealed = sealed_round(&proxy, clients, layers, seed);
+    for r in ParallelIngest::new(workers).submit_all(&mut proxy, &sealed) {
+        r.expect("well-formed update rejected");
+    }
+    let mixed = proxy.mix_batch().expect("round mixes");
+    let plan = proxy
+        .last_plan()
+        .expect("batch round records a plan")
+        .clone();
+    (mixed, plan)
+}
+
+/// Streaming variant: returns all emissions (streamed then flushed).
+fn streaming_round(
+    clients: usize,
+    layers: usize,
+    k: usize,
+    seed: u64,
+    workers: usize,
+    shards: usize,
+) -> Vec<ModelParams> {
+    let parallelism = Parallelism {
+        ingest_workers: workers,
+        mix_shards: shards,
+        client_workers: 1,
+    };
+    let mut proxy = launch(MixingStrategy::Streaming { k }, layers, seed, parallelism);
+    let sealed = sealed_round(&proxy, clients, layers, seed);
+    let mut out: Vec<ModelParams> = ParallelIngest::new(workers)
+        .submit_all(&mut proxy, &sealed)
+        .into_iter()
+        .filter_map(|r| r.expect("well-formed update rejected"))
+        .collect();
+    out.extend(proxy.flush().expect("flush drains cleanly"));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_pipeline_is_worker_and_shard_count_invariant(
+        workers in 1usize..8,
+        shards in 1usize..8,
+        clients in 4usize..12,
+        layers in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (seq_mixed, seq_plan) = batch_round(clients, layers, seed, 1, 1);
+        let (par_mixed, par_plan) = batch_round(clients, layers, seed, workers, shards);
+        prop_assert_eq!(&seq_mixed, &par_mixed);
+        prop_assert_eq!(&seq_plan, &par_plan);
+    }
+
+    #[test]
+    fn streaming_pipeline_is_worker_and_shard_count_invariant(
+        workers in 1usize..8,
+        shards in 1usize..8,
+        clients in 5usize..14,
+        layers in 1usize..4,
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let sequential = streaming_round(clients, layers, k, seed, 1, 1);
+        let parallel = streaming_round(clients, layers, k, seed, workers, shards);
+        prop_assert_eq!(sequential, parallel);
+    }
+}
+
+#[test]
+fn encrypted_transport_round_is_parallelism_invariant() {
+    use mixnn_core::{MixnnTransport, TransportMode};
+    use mixnn_fl::{ModelUpdate, UpdateTransport};
+
+    let round = |parallelism: Parallelism| {
+        let proxy = launch(MixingStrategy::Batch, 3, 17, parallelism);
+        let mut transport = MixnnTransport::new(proxy, TransportMode::Encrypted, 99);
+        let updates: Vec<ModelUpdate> = (0..8)
+            .map(|i| {
+                ModelUpdate::new(
+                    i,
+                    ModelParams::from_layers(
+                        signature(3)
+                            .into_iter()
+                            .map(|len| LayerParams::from_values(vec![i as f32; len]))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        transport.relay(updates).expect("round relays")
+    };
+    let sequential = round(Parallelism::sequential());
+    for workers in [2, 4, 8] {
+        assert_eq!(sequential, round(Parallelism::uniform(workers)));
+    }
+}

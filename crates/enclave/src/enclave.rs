@@ -46,7 +46,7 @@ impl Default for EnclaveConfig {
 /// # fn main() -> Result<(), mixnn_enclave::EnclaveError> {
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let service = AttestationService::new(&mut rng);
-/// let mut enclave = Enclave::launch(EnclaveConfig::default(), &service, &mut rng);
+/// let enclave = Enclave::launch(EnclaveConfig::default(), &service, &mut rng);
 ///
 /// // A participant verifies the quote, then encrypts to the enclave.
 /// let expected = Enclave::expected_measurement(&EnclaveConfig::default());
@@ -120,25 +120,26 @@ impl Enclave {
         self.quote.report_data() == mixnn_crypto::sha256::digest(self.keypair.public().as_bytes())
     }
 
-    /// Memory accounting handle.
+    /// Memory accounting handle. The budget's counters are atomic, so this
+    /// shared handle is all the proxy (and its parallel ingest workers)
+    /// need to charge and release EPC bytes.
     pub fn memory(&self) -> &EpcBudget {
         &self.memory
     }
 
-    /// Mutable memory accounting handle (the proxy charges its lists here).
-    pub fn memory_mut(&mut self) -> &mut EpcBudget {
-        &mut self.memory
-    }
-
     /// Decrypts a sealed box addressed to the enclave, charging the
     /// plaintext against the EPC budget for the duration of the call.
+    ///
+    /// Takes `&self`: decryption touches no mutable enclave state (the EPC
+    /// accounting is atomic), so sealed updates can be opened from many
+    /// ingest workers concurrently.
     ///
     /// # Errors
     ///
     /// Returns [`EnclaveError::MemoryExhausted`] if the plaintext does not
     /// fit in the EPC (strict mode), or [`EnclaveError::Crypto`] if
     /// decryption fails.
-    pub fn decrypt(&mut self, sealed: &[u8]) -> Result<Vec<u8>, EnclaveError> {
+    pub fn decrypt(&self, sealed: &[u8]) -> Result<Vec<u8>, EnclaveError> {
         let plaintext_len = sealed
             .len()
             .saturating_sub(mixnn_crypto::sealed_box::OVERHEAD);
@@ -200,7 +201,7 @@ mod tests {
 
     #[test]
     fn decrypt_round_trip_and_memory_release() {
-        let (mut enclave, _, mut rng) = launch();
+        let (enclave, _, mut rng) = launch();
         let sealed = SealedBox::seal(b"gradient bytes", enclave.public_key(), &mut rng);
         let plain = enclave.decrypt(&sealed).unwrap();
         assert_eq!(plain, b"gradient bytes");
@@ -217,7 +218,7 @@ mod tests {
             epc_limit: 16,
             ..EnclaveConfig::default()
         };
-        let mut enclave = Enclave::launch(config, &service, &mut rng);
+        let enclave = Enclave::launch(config, &service, &mut rng);
         let sealed = SealedBox::seal(&[0u8; 64], enclave.public_key(), &mut rng);
         assert!(matches!(
             enclave.decrypt(&sealed),
@@ -234,7 +235,7 @@ mod tests {
 
     #[test]
     fn garbage_ciphertext_fails_cleanly() {
-        let (mut enclave, _, _) = launch();
+        let (enclave, _, _) = launch();
         assert!(enclave.decrypt(&[0u8; 100]).is_err());
         assert_eq!(enclave.memory().stats().allocated, 0);
     }

@@ -10,8 +10,17 @@
 //! limit succeed in "fast" EPC; beyond it they either fail (strict mode) or
 //! succeed while counting *paging events* whose cost shows up in the
 //! §6.5-style benches.
+//!
+//! The accounting is **thread-safe**: [`EpcBudget::allocate`] and
+//! [`EpcBudget::free`] take `&self` and update lock-free atomics, so the
+//! parallel ingest workers in `mixnn-core` can charge decrypt buffers and
+//! layer-list footprints concurrently while the exhaustion semantics stay
+//! exactly those of the sequential accounting (an allocation either fits
+//! under the limit at the instant it commits, or fails without changing
+//! any counter).
 
 use crate::EnclaveError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Usable EPC bytes in the paper's SGX generation (96 MiB of the 128
 /// reserved).
@@ -42,27 +51,42 @@ impl MemoryStats {
 
 /// Allocation accounting for a (simulated) enclave.
 ///
+/// All counters are atomics, so a shared `&EpcBudget` can be charged from
+/// many threads at once; a strict budget still never over-commits because
+/// the headroom check and the counter update commit in one compare-exchange.
+///
 /// # Example
 ///
 /// ```
 /// use mixnn_enclave::EpcBudget;
 ///
 /// # fn main() -> Result<(), mixnn_enclave::EnclaveError> {
-/// let mut epc = EpcBudget::strict(1024);
+/// let epc = EpcBudget::strict(1024);
 /// epc.allocate(512)?;
 /// assert!(epc.allocate(1024).is_err()); // would exceed the EPC
 /// epc.free(512)?;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EpcBudget {
     limit: usize,
-    allocated: usize,
-    high_water: usize,
-    paging_events: u64,
-    paged_out: usize,
+    allocated: AtomicUsize,
+    high_water: AtomicUsize,
+    paging_events: AtomicU64,
     allow_paging: bool,
+}
+
+impl Clone for EpcBudget {
+    fn clone(&self) -> Self {
+        EpcBudget {
+            limit: self.limit,
+            allocated: AtomicUsize::new(self.allocated.load(Ordering::Acquire)),
+            high_water: AtomicUsize::new(self.high_water.load(Ordering::Acquire)),
+            paging_events: AtomicU64::new(self.paging_events.load(Ordering::Acquire)),
+            allow_paging: self.allow_paging,
+        }
+    }
 }
 
 impl EpcBudget {
@@ -71,10 +95,9 @@ impl EpcBudget {
     pub fn strict(limit: usize) -> Self {
         EpcBudget {
             limit,
-            allocated: 0,
-            high_water: 0,
-            paging_events: 0,
-            paged_out: 0,
+            allocated: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            paging_events: AtomicU64::new(0),
             allow_paging: false,
         }
     }
@@ -99,22 +122,34 @@ impl EpcBudget {
     ///
     /// In strict mode, returns [`EnclaveError::MemoryExhausted`] when the
     /// allocation would exceed the limit; in paging mode the allocation
-    /// succeeds and a paging event is counted instead.
-    pub fn allocate(&mut self, bytes: usize) -> Result<(), EnclaveError> {
-        let new_total = self.allocated.saturating_add(bytes);
-        if new_total > self.limit {
-            if !self.allow_paging {
+    /// succeeds and a paging event is counted instead. A failed allocation
+    /// never changes the accounting, even under concurrency.
+    pub fn allocate(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let mut current = self.allocated.load(Ordering::Acquire);
+        loop {
+            let new_total = current.saturating_add(bytes);
+            if new_total > self.limit && !self.allow_paging {
                 return Err(EnclaveError::MemoryExhausted {
                     requested: bytes,
-                    available: self.limit.saturating_sub(self.allocated),
+                    available: self.limit.saturating_sub(current),
                 });
             }
-            self.paging_events += 1;
-            self.paged_out = new_total - self.limit;
+            match self.allocated.compare_exchange_weak(
+                current,
+                new_total,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.high_water.fetch_max(new_total, Ordering::AcqRel);
+                    if new_total > self.limit {
+                        self.paging_events.fetch_add(1, Ordering::AcqRel);
+                    }
+                    return Ok(());
+                }
+                Err(observed) => current = observed,
+            }
         }
-        self.allocated = new_total;
-        self.high_water = self.high_water.max(self.allocated);
-        Ok(())
     }
 
     /// Records a free of `bytes`.
@@ -124,32 +159,46 @@ impl EpcBudget {
     /// Returns [`EnclaveError::FreeUnderflow`] when freeing more than is
     /// allocated — an accounting bug in the caller that must not be
     /// silently absorbed.
-    pub fn free(&mut self, bytes: usize) -> Result<(), EnclaveError> {
-        if bytes > self.allocated {
-            return Err(EnclaveError::FreeUnderflow {
-                requested: bytes,
-                allocated: self.allocated,
-            });
+    pub fn free(&self, bytes: usize) -> Result<(), EnclaveError> {
+        let mut current = self.allocated.load(Ordering::Acquire);
+        loop {
+            if bytes > current {
+                return Err(EnclaveError::FreeUnderflow {
+                    requested: bytes,
+                    allocated: current,
+                });
+            }
+            let new_total = current - bytes;
+            match self.allocated.compare_exchange_weak(
+                current,
+                new_total,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(observed) => current = observed,
+            }
         }
-        self.allocated -= bytes;
-        self.paged_out = self.allocated.saturating_sub(self.limit);
-        Ok(())
     }
 
-    /// Current usage snapshot.
+    /// Current usage snapshot. `paged_out` is derived from `allocated`
+    /// (bytes past the limit) rather than stored, so it can never race out
+    /// of sync with the allocation counter.
     pub fn stats(&self) -> MemoryStats {
+        let allocated = self.allocated.load(Ordering::Acquire);
         MemoryStats {
-            allocated: self.allocated,
+            allocated,
             limit: self.limit,
-            high_water: self.high_water,
-            paging_events: self.paging_events,
-            paged_out: self.paged_out,
+            high_water: self.high_water.load(Ordering::Acquire),
+            paging_events: self.paging_events.load(Ordering::Acquire),
+            paged_out: allocated.saturating_sub(self.limit),
         }
     }
 
     /// Bytes still available before the limit.
     pub fn available(&self) -> usize {
-        self.limit.saturating_sub(self.allocated)
+        self.limit
+            .saturating_sub(self.allocated.load(Ordering::Acquire))
     }
 
     /// Whether an allocation of `bytes` would fit without paging.
@@ -164,7 +213,7 @@ mod tests {
 
     #[test]
     fn strict_mode_rejects_overcommit() {
-        let mut epc = EpcBudget::strict(100);
+        let epc = EpcBudget::strict(100);
         epc.allocate(60).unwrap();
         let err = epc.allocate(50).unwrap_err();
         assert_eq!(
@@ -180,7 +229,7 @@ mod tests {
 
     #[test]
     fn paging_mode_counts_events() {
-        let mut epc = EpcBudget::paging(100);
+        let epc = EpcBudget::paging(100);
         epc.allocate(80).unwrap();
         epc.allocate(50).unwrap();
         let stats = epc.stats();
@@ -193,7 +242,7 @@ mod tests {
 
     #[test]
     fn high_water_tracks_peak() {
-        let mut epc = EpcBudget::strict(100);
+        let epc = EpcBudget::strict(100);
         epc.allocate(70).unwrap();
         epc.free(50).unwrap();
         epc.allocate(10).unwrap();
@@ -202,7 +251,7 @@ mod tests {
 
     #[test]
     fn free_underflow_is_detected() {
-        let mut epc = EpcBudget::strict(100);
+        let epc = EpcBudget::strict(100);
         epc.allocate(10).unwrap();
         assert!(matches!(
             epc.free(20),
@@ -218,7 +267,7 @@ mod tests {
 
     #[test]
     fn fits_and_available() {
-        let mut epc = EpcBudget::strict(100);
+        let epc = EpcBudget::strict(100);
         assert!(epc.fits(100));
         epc.allocate(99).unwrap();
         assert_eq!(epc.available(), 1);
@@ -228,8 +277,53 @@ mod tests {
 
     #[test]
     fn utilization_fraction() {
-        let mut epc = EpcBudget::strict(200);
+        let epc = EpcBudget::strict(200);
         epc.allocate(50).unwrap();
         assert!((epc.stats().utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_snapshots_counters() {
+        let epc = EpcBudget::paging(100);
+        epc.allocate(120).unwrap();
+        let snap = epc.clone();
+        epc.free(120).unwrap();
+        assert_eq!(snap.stats().allocated, 120);
+        assert_eq!(snap.stats().paging_events, 1);
+        assert_eq!(epc.stats().allocated, 0);
+    }
+
+    #[test]
+    fn concurrent_allocate_free_balances_to_zero() {
+        let epc = EpcBudget::strict(1_000_000);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        epc.allocate(7).unwrap();
+                        epc.free(7).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(epc.stats().allocated, 0);
+        assert!(epc.stats().high_water >= 7);
+        assert!(epc.stats().high_water <= 8 * 7);
+    }
+
+    #[test]
+    fn concurrent_strict_budget_never_overcommits() {
+        // 8 threads race for 10 slots of 10 bytes inside a 100-byte budget:
+        // exactly 10 allocations may succeed, regardless of interleaving.
+        let epc = EpcBudget::strict(100);
+        let successes: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| (0..4).filter(|_| epc.allocate(10).is_ok()).count()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(successes, 10);
+        assert_eq!(epc.stats().allocated, 100);
+        assert_eq!(epc.stats().high_water, 100);
     }
 }

@@ -1,5 +1,6 @@
 //! Federated-learning hyper-parameters.
 
+use crate::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// The local optimizer run by each participant.
@@ -45,6 +46,10 @@ pub struct FlConfig {
     pub clients_per_round: usize,
     /// Master seed: fixes client sampling, batch order and model init.
     pub seed: u64,
+    /// Worker counts for the concurrent pipeline (client training here;
+    /// ingest/mixing knobs are consumed by the proxy in `mixnn-core`).
+    /// Results are identical at every setting; only throughput changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FlConfig {
@@ -57,6 +62,9 @@ impl Default for FlConfig {
             optimizer: OptimizerKind::Adam,
             clients_per_round: 8,
             seed: 0,
+            // One worker per hardware thread by default: results are
+            // identical at any worker count, so this only buys speed.
+            parallelism: Parallelism::available(),
         }
     }
 }

@@ -27,6 +27,7 @@
 mod client;
 mod config;
 mod error;
+mod parallel;
 mod server;
 mod simulation;
 mod transport;
@@ -35,6 +36,7 @@ mod update;
 pub use client::{train_local, FlClient};
 pub use config::{FlConfig, OptimizerKind};
 pub use error::FlError;
+pub use parallel::{map_chunked, Parallelism};
 pub use server::AggregationServer;
 pub use simulation::{FlSimulation, RoundOutcome};
 pub use transport::{DirectTransport, NoisyTransport, UpdateTransport};

@@ -1,0 +1,152 @@
+//! Worker/shard counts for the concurrent pipeline.
+//!
+//! One struct threads every parallelism knob from the bench configs down
+//! through the simulation (`client_workers`), the proxy ingest front-end
+//! (`ingest_workers`) and the per-layer mixing shards (`mix_shards`).
+//! Every stage is engineered so that the *result* is independent of the
+//! worker count — parallelism is a throughput knob, never a semantics
+//! knob — which is what lets the determinism tests compare any worker
+//! count against the sequential path bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+/// How many workers each stage of the pipeline may use.
+///
+/// All counts are clamped to at least 1 at the point of use; `0` therefore
+/// behaves like `1` (sequential).
+///
+/// # Example
+///
+/// ```
+/// use mixnn_fl::Parallelism;
+///
+/// let seq = Parallelism::sequential();
+/// assert_eq!(seq, Parallelism::default());
+/// let par = Parallelism::uniform(4);
+/// assert_eq!(par.ingest_workers, 4);
+/// assert_eq!(par.mix_shards, 4);
+/// assert_eq!(par.client_workers, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Threads decrypting/decoding sealed updates in the proxy front-end.
+    pub ingest_workers: usize,
+    /// Per-layer shard tasks used when applying a mixing plan.
+    pub mix_shards: usize,
+    /// Threads running per-client local training inside a round.
+    pub client_workers: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl Parallelism {
+    /// Fully sequential pipeline (one worker everywhere) — the reference
+    /// semantics every parallel configuration must reproduce.
+    pub fn sequential() -> Self {
+        Parallelism {
+            ingest_workers: 1,
+            mix_shards: 1,
+            client_workers: 1,
+        }
+    }
+
+    /// The same worker count for every stage.
+    pub fn uniform(workers: usize) -> Self {
+        Parallelism {
+            ingest_workers: workers,
+            mix_shards: workers,
+            client_workers: workers,
+        }
+    }
+
+    /// One worker per available hardware thread for every stage.
+    pub fn available() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::uniform(n)
+    }
+
+    /// Effective worker count for a stage handling `tasks` items: at least
+    /// 1, at most one worker per task.
+    pub fn effective(workers: usize, tasks: usize) -> usize {
+        workers.max(1).min(tasks.max(1))
+    }
+}
+
+/// Runs `f` over `items` with at most `workers` scoped threads, preserving
+/// input order in the output.
+///
+/// The item slice is split into contiguous chunks, one per worker; each
+/// worker maps its chunk sequentially. With `workers <= 1` no thread is
+/// spawned. Because `f` receives each item independently, the output is
+/// identical at every worker count — callers encode any per-item
+/// determinism (seeds, shard indices) in the items themselves.
+pub fn map_chunked<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = Parallelism::effective(workers, items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_default() {
+        assert_eq!(Parallelism::default(), Parallelism::sequential());
+    }
+
+    #[test]
+    fn effective_clamps_both_ends() {
+        assert_eq!(Parallelism::effective(0, 10), 1);
+        assert_eq!(Parallelism::effective(4, 2), 2);
+        assert_eq!(Parallelism::effective(4, 0), 1);
+        assert_eq!(Parallelism::effective(4, 100), 4);
+    }
+
+    #[test]
+    fn available_is_at_least_one() {
+        let p = Parallelism::available();
+        assert!(p.ingest_workers >= 1);
+        assert!(p.mix_shards >= 1);
+        assert!(p.client_workers >= 1);
+    }
+
+    #[test]
+    fn map_chunked_preserves_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|&i| i * i).collect();
+        for workers in 0..9 {
+            assert_eq!(map_chunked(&items, workers, |&i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn map_chunked_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_chunked(&empty, 4, |&b| b).is_empty());
+        assert_eq!(map_chunked(&[9u8], 4, |&b| b), vec![9]);
+    }
+}

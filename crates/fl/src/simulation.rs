@@ -32,9 +32,10 @@ pub struct RoundOutcome {
 /// for classic FL, a [`crate::NoisyTransport`] for the noisy-gradient
 /// baseline, or the MixNN proxy transport from `mixnn-core`.
 ///
-/// Client local training runs in parallel threads (one per selected client,
-/// via `crossbeam`), with per-client seeds derived from the master seed so
-/// the outcome is deterministic.
+/// Client local training runs on a bounded pool of scoped threads
+/// (`FlConfig::parallelism.client_workers`), with per-client seeds derived
+/// from the master seed so the outcome is deterministic at every worker
+/// count.
 #[derive(Debug)]
 pub struct FlSimulation {
     template: Sequential,
@@ -159,21 +160,18 @@ impl FlSimulation {
             work.push((client, model, self.cfg.client_seed(round, id)));
         }
 
-        // Parallel local training, deterministic via per-client seeds.
+        // Parallel local training on a bounded worker pool
+        // (`parallelism.client_workers`), deterministic via per-client
+        // seeds: each client's result depends only on its own
+        // (round, client) seed, so chunking across workers cannot change
+        // the outcome — only the wall-clock.
         let cfg = self.cfg;
         let template = &self.template;
-        let results: Vec<Result<ModelUpdate, FlError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .iter()
-                .map(|(client, model, seed)| {
-                    scope.spawn(move || client.train(template, model, &cfg, *seed))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client training thread panicked"))
-                .collect()
-        });
+        let results: Vec<Result<ModelUpdate, FlError>> = crate::map_chunked(
+            &work,
+            cfg.parallelism.client_workers,
+            |(client, model, seed)| client.train(template, model, &cfg, *seed),
+        );
 
         let mut updates = Vec::with_capacity(results.len());
         for r in results {
@@ -277,6 +275,24 @@ mod tests {
             sim.global().clone()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rounds_are_identical_at_any_client_worker_count() {
+        let run = |workers: usize| {
+            let (mut sim, _) = sim(7);
+            sim.cfg.parallelism = crate::Parallelism {
+                client_workers: workers,
+                ..crate::Parallelism::sequential()
+            };
+            let mut transport = DirectTransport::new();
+            sim.run_round(&mut transport).unwrap();
+            sim.global().clone()
+        };
+        let sequential = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(sequential, run(workers), "workers={workers}");
+        }
     }
 
     #[test]
