@@ -1,0 +1,240 @@
+//! The colluding-hops adversary against a mix cascade.
+//!
+//! Threat model: some subset of the cascade's hops is compromised and
+//! pools everything each compromised hop sees in plaintext — which, for a
+//! mixing hop, is its own per-round [`MixPlan`] (the assignment of its
+//! input slots to its output slots, per layer). Honest hops reveal
+//! nothing; their permutations are drawn uniformly inside the enclave.
+//!
+//! The adversary's goal is to link final (output slot, layer) pairs back
+//! to the original client slots. [`analyze_collusion`] computes exactly
+//! what the pooled views support: walking the chain input→output, a known
+//! hop maps candidate sets through its permutation unchanged in size,
+//! while an unknown hop — a uniform permutation over the round — widens
+//! every candidate set to the full round. The result quantifies the
+//! cascade's core claim: **linkability degrades only when all hops
+//! collude**; any proper subset leaves every pair with the full round as
+//! its residual anonymity set.
+
+use mixnn_core::MixPlan;
+
+/// What a colluding subset of hops can reconstruct about one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollusionReport {
+    /// Clients (= slots) in the analyzed round.
+    pub clients: usize,
+    /// Model layers covered by the plans.
+    pub layers: usize,
+    /// Chain length (total hops, colluding or not).
+    pub total_hops: usize,
+    /// Indices of the colluding hops, in chain order.
+    pub colluding_hops: Vec<usize>,
+    /// Fraction of (output slot, layer) pairs the adversary links to a
+    /// **unique** original client. 0.0 = nothing linkable, 1.0 = the whole
+    /// round is deanonymized.
+    pub linkable_fraction: f64,
+    /// Mean size of the residual anonymity set over all (output slot,
+    /// layer) pairs — `clients` when the adversary learned nothing, 1.0
+    /// when everything is linked.
+    pub mean_anonymity_set: f64,
+    /// The successful links, flattened as `[layer * clients + output]`:
+    /// `Some(client)` when the pair's residual anonymity set is a
+    /// singleton, `None` otherwise.
+    pub links: Vec<Option<usize>>,
+}
+
+impl CollusionReport {
+    /// Whether every (output, layer) pair is linked to a unique client.
+    pub fn fully_linkable(&self) -> bool {
+        self.linkable_fraction == 1.0
+    }
+
+    /// Whether no (output, layer) pair is linked (for rounds with more
+    /// than one client).
+    pub fn unlinkable(&self) -> bool {
+        self.linkable_fraction == 0.0
+    }
+}
+
+/// Runs the colluding-subset adversary over one cascade round.
+///
+/// `hop_views[i]` is `Some(plan)` when hop `i` colludes (revealing its
+/// per-round plan) and `None` when it is honest. The computation is a
+/// deterministic function of the plans — seed the cascade and you seed
+/// the adversary.
+///
+/// # Panics
+///
+/// Panics if `hop_views` is empty, if `clients`/`layers` are zero, or if
+/// a revealed plan's dimensions disagree with them — those are analysis
+/// bugs, not runtime conditions.
+pub fn analyze_collusion(
+    hop_views: &[Option<&MixPlan>],
+    clients: usize,
+    layers: usize,
+) -> CollusionReport {
+    assert!(!hop_views.is_empty(), "a cascade has at least one hop");
+    assert!(clients > 0 && layers > 0, "round must be non-empty");
+    for (i, view) in hop_views.iter().enumerate() {
+        if let Some(plan) = view {
+            assert_eq!(plan.participants(), clients, "hop {i} plan width");
+            assert_eq!(plan.layers(), layers, "hop {i} plan layers");
+        }
+    }
+
+    let mut links = Vec::with_capacity(clients * layers);
+    let mut anonymity_total = 0usize;
+    for layer in 0..layers {
+        // candidates[slot] = set of original clients that could occupy
+        // `slot` at the current position in the chain, given the views.
+        // Before hop 0, slot j holds exactly client j.
+        let mut candidates: Vec<Vec<bool>> = (0..clients)
+            .map(|j| (0..clients).map(|c| c == j).collect())
+            .collect();
+        for view in hop_views {
+            candidates = match view {
+                // Colluding hop: the adversary maps each set through the
+                // revealed permutation; sizes are preserved.
+                Some(plan) => (0..clients)
+                    .map(|out| {
+                        let src = plan
+                            .source(layer, out)
+                            .expect("plan dimensions checked above");
+                        candidates[src].clone()
+                    })
+                    .collect(),
+                // Honest hop: a uniform unknown permutation — any input
+                // slot may feed any output slot, so every candidate set
+                // becomes the union of all of them (the full round, since
+                // the identity start covers every client).
+                None => {
+                    let mut union = vec![false; clients];
+                    for set in &candidates {
+                        for (u, &present) in union.iter_mut().zip(set) {
+                            *u = *u || present;
+                        }
+                    }
+                    vec![union; clients]
+                }
+            };
+        }
+        for set in &candidates {
+            let size = set.iter().filter(|&&p| p).count();
+            anonymity_total += size;
+            links.push(if size == 1 {
+                set.iter().position(|&p| p)
+            } else {
+                None
+            });
+        }
+    }
+
+    let pairs = (clients * layers) as f64;
+    let linked = links.iter().filter(|l| l.is_some()).count();
+    CollusionReport {
+        clients,
+        layers,
+        total_hops: hop_views.len(),
+        colluding_hops: hop_views
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.is_some().then_some(i))
+            .collect(),
+        linkable_fraction: linked as f64 / pairs,
+        mean_anonymity_set: anonymity_total as f64 / pairs,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plans(n: usize, clients: usize, layers: usize, seed: u64) -> Vec<MixPlan> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| MixPlan::latin(clients, layers, &mut rng).unwrap())
+            .collect()
+    }
+
+    fn views<'a>(plans: &'a [MixPlan], colluding: &[usize]) -> Vec<Option<&'a MixPlan>> {
+        (0..plans.len())
+            .map(|i| colluding.contains(&i).then_some(&plans[i]))
+            .collect()
+    }
+
+    #[test]
+    fn full_collusion_links_everything() {
+        let plans = plans(3, 6, 2, 1);
+        let report = analyze_collusion(&views(&plans, &[0, 1, 2]), 6, 2);
+        assert!(report.fully_linkable());
+        assert_eq!(report.mean_anonymity_set, 1.0);
+        assert_eq!(report.colluding_hops, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn any_single_honest_hop_hides_the_whole_round() {
+        let plans = plans(3, 6, 2, 2);
+        for honest in 0..3 {
+            let colluding: Vec<usize> = (0..3).filter(|&i| i != honest).collect();
+            let report = analyze_collusion(&views(&plans, &colluding), 6, 2);
+            assert!(report.unlinkable(), "honest hop {honest} failed to hide");
+            assert_eq!(
+                report.mean_anonymity_set, 6.0,
+                "honest hop {honest} shrank the anonymity set"
+            );
+        }
+    }
+
+    #[test]
+    fn no_collusion_reveals_nothing() {
+        let plans = plans(2, 4, 3, 3);
+        let report = analyze_collusion(&views(&plans, &[]), 4, 3);
+        assert!(report.unlinkable());
+        assert_eq!(report.mean_anonymity_set, 4.0);
+        assert!(report.colluding_hops.is_empty());
+    }
+
+    #[test]
+    fn full_collusion_recovers_the_exact_composition() {
+        // The adversary's singleton sets must equal the true composed
+        // permutation, not just have size one.
+        let plans = plans(4, 5, 2, 4);
+        let all: Vec<usize> = (0..4).collect();
+        let report = analyze_collusion(&views(&plans, &all), 5, 2);
+        assert!(report.fully_linkable());
+        for layer in 0..2 {
+            for out in 0..5 {
+                let mut idx = out;
+                for plan in plans.iter().rev() {
+                    idx = plan.source(layer, idx).unwrap();
+                }
+                assert_eq!(
+                    report.links[layer * 5 + out],
+                    Some(idx),
+                    "layer {layer} output {out} linked to the wrong client"
+                );
+            }
+        }
+        // And the whole analysis is a pure function of its inputs.
+        assert_eq!(report, analyze_collusion(&views(&plans, &all), 5, 2));
+    }
+
+    #[test]
+    fn single_hop_chain_is_the_degenerate_case() {
+        let plans = plans(1, 8, 3, 5);
+        // The single hop colluding = total collusion.
+        assert!(analyze_collusion(&views(&plans, &[0]), 8, 3).fully_linkable());
+        // The single hop honest = nothing linkable.
+        assert!(analyze_collusion(&views(&plans, &[]), 8, 3).unlinkable());
+    }
+
+    #[test]
+    #[should_panic(expected = "plan width")]
+    fn dimension_mismatch_is_a_bug() {
+        let plans = plans(1, 4, 2, 6);
+        let _ = analyze_collusion(&views(&plans, &[0]), 5, 2);
+    }
+}

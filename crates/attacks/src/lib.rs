@@ -22,15 +22,22 @@
 //! [`InferenceExperiment`] packages the whole multi-round protocol attack
 //! against any transport (classic FL, noisy gradient, MixNN) and produces
 //! the per-round inference accuracies of Figures 7 and 8.
+//!
+//! Beyond the paper, [`collusion`] models the adversary the **mix
+//! cascade** (`mixnn-cascade`) is built against: a subset of compromised
+//! hops pooling their plaintext views to link forwarded layers back to
+//! participants.
 
 #![deny(missing_docs)]
 
+pub mod collusion;
 mod driver;
 mod error;
 mod gradsim;
 pub mod metrics;
 pub mod robustness;
 
+pub use collusion::{analyze_collusion, CollusionReport};
 pub use driver::{AttackMode, InferenceExperiment, InferenceResult};
 pub use error::AttackError;
 pub use gradsim::{AttackSession, GradSim, GradSimConfig, SimilarityMetric};

@@ -1,9 +1,10 @@
 //! `eval` — regenerates every evaluation artifact of the MixNN paper.
 //!
 //! ```text
-//! eval <fig5|fig6|fig7|fig8|fig9|sysperf|throughput|all> [options]
+//! eval <experiment|all> [options]        run `eval --list` for the registry
 //!
 //! Options:
+//!   --list                                         enumerate registered experiments
 //!   --dataset <cifar10|motionsense|mobiact|lfw>   one dataset (default: all four)
 //!   --quick                                        shrunk configuration (fast smoke run)
 //!   --seed <u64>                                   base seed (default 42)
@@ -13,22 +14,78 @@
 //!   --round <n>                                    evaluation round for fig6 (default 6)
 //!   --radius <f32>                                 neighbour radius for fig9, on unit-normalized
 //!                                                  gradients (default 1.25; see EXPERIMENTS.md)
-//!   --clients <n>                                  clients for sysperf (default 16)
-//!   --out <path>                                   JSON artifact path for throughput
-//!                                                  (default BENCH_throughput.json)
+//!   --clients <n>                                  clients for sysperf/cascade (default 16)
+//!   --out <path>                                   JSON artifact path override
+//!                                                  (throughput: BENCH_throughput.json,
+//!                                                   cascade: BENCH_cascade.json)
 //! ```
 //!
 //! `throughput` sweeps the parallel ingest pipeline over worker counts
 //! {1,2,4,8} and round sizes {32,128,512} (quick: {8,32}), verifying that
 //! every configuration mixes bit-identically, and writes the measured
-//! speedups to the JSON artifact.
+//! speedups to the JSON artifact. `cascade` sweeps the multi-hop mix
+//! cascade over hop counts 1..4 × every colluding subset of hops,
+//! asserting bit-identical aggregates against the single-proxy baseline.
 
 use mixnn_attacks::AttackMode;
 use mixnn_bench::experiments::{
-    background, inference, robustness, sysperf, throughput, utility, utility_cdf,
+    background, cascade, inference, robustness, sysperf, throughput, utility, utility_cdf,
 };
 use mixnn_bench::{report, DatasetKind, Defense, ExperimentScale, ExperimentSetup};
 use std::process::ExitCode;
+
+/// The experiment registry: every runnable command with its one-line
+/// description and handler. `eval --list`, the usage line and command
+/// dispatch all derive from this single table, so a new experiment is
+/// added in exactly one place (`all` is the only special case).
+/// One registry row: command name, one-line description, handler.
+type Experiment = (
+    &'static str,
+    &'static str,
+    fn(&Options) -> Result<(), String>,
+);
+
+const EXPERIMENTS: &[Experiment] = &[
+    (
+        "fig5",
+        "Model accuracy per learning round (utility, Fig. 5)",
+        run_fig5,
+    ),
+    ("fig6", "CDF of per-participant accuracy (Fig. 6)", run_fig6),
+    (
+        "fig7",
+        "∇Sim attribute-inference accuracy per round (Fig. 7)",
+        run_fig7,
+    ),
+    (
+        "fig8",
+        "Inference accuracy vs adversary background knowledge (Fig. 8)",
+        run_fig8,
+    ),
+    (
+        "fig9",
+        "CDF of close-gradient neighbours (robustness, Fig. 9)",
+        run_fig9,
+    ),
+    (
+        "sysperf",
+        "§6.5 proxy pipeline cost and memory breakdown",
+        run_sysperf,
+    ),
+    (
+        "throughput",
+        "Parallel-ingest scaling sweep -> BENCH_throughput.json",
+        run_throughput,
+    ),
+    (
+        "cascade",
+        "Mix cascade: hop count x colluding subsets -> BENCH_cascade.json",
+        run_cascade,
+    ),
+];
+
+/// The one command that is not a row of [`EXPERIMENTS`]: it iterates them.
+const ALL_COMMAND: (&str, &str) = ("all", "Every experiment above, in sequence");
 
 #[derive(Debug)]
 struct Options {
@@ -41,7 +98,7 @@ struct Options {
     round: usize,
     radius: f32,
     clients: usize,
-    out: String,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -56,7 +113,7 @@ impl Default for Options {
             round: 6,
             radius: 1.25,
             clients: 16,
-            out: "BENCH_throughput.json".to_string(),
+            out: None,
         }
     }
 }
@@ -92,7 +149,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--clients" => {
                 opts.clients = take_value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
-            "--out" => opts.out = take_value(&mut i)?,
+            "--out" => opts.out = Some(take_value(&mut i)?),
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -255,6 +312,7 @@ fn run_sysperf(opts: &Options) -> Result<(), String> {
 }
 
 fn run_throughput(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_throughput.json");
     let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, opts.scale, opts.seed);
     let clients: &[usize] = match opts.scale {
         ExperimentScale::Paper => &throughput::DEFAULT_CLIENTS,
@@ -274,13 +332,12 @@ fn run_throughput(opts: &Options) -> Result<(), String> {
         ],
         &throughput::rows(&results),
     );
-    std::fs::write(&opts.out, throughput::to_json(&results))
-        .map_err(|e| format!("writing {}: {e}", opts.out))?;
+    std::fs::write(out, throughput::to_json(&results))
+        .map_err(|e| format!("writing {out}: {e}"))?;
     let threads = throughput::hardware_threads();
     println!(
         "\nAll worker counts produced bit-identical mixed outputs (verified).\n\
-         Results written to {}.",
-        opts.out
+         Results written to {out}."
     );
     println!("Hardware threads available: {threads}.");
     if threads < 4 {
@@ -293,10 +350,70 @@ fn run_throughput(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_cascade(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_cascade.json");
+    let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, opts.scale, opts.seed);
+    let sweep = cascade::run(&setup, opts.scale, opts.clients, &cascade::DEFAULT_HOPS)
+        .map_err(|e| e.to_string())?;
+    report::print_table(
+        &format!(
+            "Mix cascade: per-hop cost over hop counts {:?} ({} clients, onion path)",
+            cascade::DEFAULT_HOPS,
+            opts.clients
+        ),
+        &[
+            "hops",
+            "hop",
+            "decrypt ms",
+            "store ms",
+            "mix ms",
+            "recv MB",
+            "round ms",
+            "updates/s",
+        ],
+        &cascade::perf_rows(&sweep),
+    );
+    report::print_table(
+        "Colluding-subset adversary: residual linkability per subset of hops",
+        &["hops", "colluding", "linkable", "anonymity set"],
+        &cascade::collusion_rows(&sweep),
+    );
+    std::fs::write(out, cascade::to_json(&sweep, opts.clients))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "\nAsserted at every hop count: the unmixed server aggregate is bit-identical\n\
+         to the single-proxy baseline, and the audit restores the original updates\n\
+         bit-exactly. Only the all-hops-colluding subsets report linkability 1.00.\n\
+         Results written to {out}."
+    );
+    Ok(())
+}
+
+fn print_experiment_list() {
+    println!("registered experiments:");
+    for (name, description, _) in EXPERIMENTS {
+        println!("  {name:<12} {description}");
+    }
+    let (name, description) = ALL_COMMAND;
+    println!("  {name:<12} {description}");
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--list` is only a command substitute in command position; after an
+    // explicit command it falls through to option parsing and is rejected
+    // there, rather than silently discarding the requested experiment.
+    if args.first().map(String::as_str) == Some("--list") {
+        print_experiment_list();
+        return ExitCode::SUCCESS;
+    }
     let Some((command, rest)) = args.split_first() else {
-        eprintln!("usage: eval <fig5|fig6|fig7|fig8|fig9|sysperf|throughput|all> [options]");
+        let mut names: Vec<&str> = EXPERIMENTS.iter().map(|(name, _, _)| *name).collect();
+        names.push(ALL_COMMAND.0);
+        eprintln!(
+            "usage: eval <{}> [options]\nrun `eval --list` for one-line descriptions",
+            names.join("|")
+        );
         return ExitCode::FAILURE;
     };
     let opts = match parse_options(rest) {
@@ -306,22 +423,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command.as_str() {
-        "fig5" => run_fig5(&opts),
-        "fig6" => run_fig6(&opts),
-        "fig7" => run_fig7(&opts),
-        "fig8" => run_fig8(&opts),
-        "fig9" => run_fig9(&opts),
-        "sysperf" => run_sysperf(&opts),
-        "throughput" => run_throughput(&opts),
-        "all" => run_fig5(&opts)
-            .and_then(|()| run_fig6(&opts))
-            .and_then(|()| run_fig7(&opts))
-            .and_then(|()| run_fig8(&opts))
-            .and_then(|()| run_fig9(&opts))
-            .and_then(|()| run_sysperf(&opts))
-            .and_then(|()| run_throughput(&opts)),
-        other => Err(format!("unknown command '{other}'")),
+    let result = if command == ALL_COMMAND.0 {
+        // `--out` names exactly one file, but `all` runs two JSON-writing
+        // experiments (throughput and cascade); honoring the override would
+        // clobber one artifact with the other, so reject the combination
+        // rather than silently dropping the flag.
+        if opts.out.is_some() {
+            eprintln!(
+                "error: --out names a single file but 'all' writes several artifacts;\n\
+                 run the experiments individually to redirect their outputs"
+            );
+            return ExitCode::FAILURE;
+        }
+        EXPERIMENTS
+            .iter()
+            .try_for_each(|(_, _, handler)| handler(&opts))
+    } else if let Some((_, _, handler)) = EXPERIMENTS.iter().find(|(name, _, _)| name == command) {
+        handler(&opts)
+    } else {
+        Err(format!(
+            "unknown command '{command}' (run `eval --list` for the registry)"
+        ))
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,6 +1,7 @@
 //! One module per paper artifact. See the crate docs for the mapping.
 
 pub mod background;
+pub mod cascade;
 pub mod inference;
 pub mod robustness;
 pub mod sysperf;

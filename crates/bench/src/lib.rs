@@ -13,6 +13,7 @@
 //! | [`experiments::robustness`] | Fig. 9 — CDF of close-gradient neighbours |
 //! | [`experiments::sysperf`] | §6.5 — proxy cost and memory breakdown |
 //! | [`experiments::throughput`] | beyond the paper — parallel-ingest scaling (`BENCH_throughput.json`) |
+//! | [`experiments::cascade`] | beyond the paper — mix-cascade hop/collusion sweep (`BENCH_cascade.json`) |
 //!
 //! Experiments come in two scales: `paper` (the §6.1.4 round/epoch/batch
 //! parameters) and `quick` (shrunk for smoke tests). Absolute numbers

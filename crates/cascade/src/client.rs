@@ -1,0 +1,157 @@
+//! The participant's side of the cascade.
+
+use crate::{CascadeError, HopDescriptor, OnionUpdate};
+use mixnn_crypto::PublicKey;
+use mixnn_enclave::AttestationService;
+use mixnn_nn::ModelParams;
+use rand::Rng;
+
+/// Builds onion-encrypted updates for a verified chain of hops.
+///
+/// The constructor of record is [`CascadeClient::from_attested_hops`]: a
+/// participant must verify **every** hop's quote — the cascade's whole
+/// point is that no single hop is trusted, so a single unverified hop
+/// would reintroduce the single point of trust the chain removes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeClient {
+    hop_keys: Vec<PublicKey>,
+}
+
+impl CascadeClient {
+    /// Builds a client from raw hop keys **without attestation** — for
+    /// tests and for the coordinator, which launched the hops itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain — a configuration bug.
+    pub fn from_keys(hop_keys: Vec<PublicKey>) -> Self {
+        assert!(
+            !hop_keys.is_empty(),
+            "cascade client needs at least one hop"
+        );
+        CascadeClient { hop_keys }
+    }
+
+    /// Verifies every hop's quote (platform signature, expected
+    /// measurement, key binding) and builds a client over the attested
+    /// keys. Chain order is the descriptor order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Attestation`] naming the first hop whose
+    /// quote does not verify or whose quote fails to bind its public key,
+    /// and [`CascadeError::NoActiveHops`] for an empty descriptor list.
+    pub fn from_attested_hops(
+        hops: &[HopDescriptor],
+        attestation: &AttestationService,
+    ) -> Result<Self, CascadeError> {
+        if hops.is_empty() {
+            return Err(CascadeError::NoActiveHops);
+        }
+        for (i, d) in hops.iter().enumerate() {
+            let quote_ok = attestation.verify_quote(&d.quote, &d.expected_measurement);
+            if !(quote_ok && d.quote.binds_key(&d.public_key)) {
+                return Err(CascadeError::Attestation { hop: i });
+            }
+        }
+        Ok(CascadeClient {
+            hop_keys: hops.iter().map(|d| d.public_key).collect(),
+        })
+    }
+
+    /// Number of hops the onion will traverse.
+    pub fn num_hops(&self) -> usize {
+        self.hop_keys.len()
+    }
+
+    /// Onion-encrypts one model update for the chain and frames it for the
+    /// first hop: one sealed envelope per (hop, layer), innermost for the
+    /// last hop.
+    pub fn seal_update<R: Rng + ?Sized>(&self, params: &ModelParams, rng: &mut R) -> Vec<u8> {
+        OnionUpdate::build(params, &self.hop_keys, rng).encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CascadeHop, CascadeHopConfig};
+    use mixnn_crypto::KeyPair;
+    use mixnn_nn::LayerParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn descriptors(n: usize) -> (Vec<HopDescriptor>, AttestationService) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let service = AttestationService::new(&mut rng);
+        let descriptors = (0..n)
+            .map(|i| {
+                CascadeHop::launch(i, CascadeHopConfig::default(), 1, &service, &mut rng)
+                    .descriptor()
+            })
+            .collect();
+        (descriptors, service)
+    }
+
+    #[test]
+    fn attested_client_accepts_honest_hops() {
+        let (descriptors, service) = descriptors(3);
+        let client = CascadeClient::from_attested_hops(&descriptors, &service).unwrap();
+        assert_eq!(client.num_hops(), 3);
+    }
+
+    #[test]
+    fn rogue_key_is_caught_by_key_binding() {
+        let (mut descriptors, service) = descriptors(3);
+        // A man in the middle substitutes its own key on hop 1 but cannot
+        // forge the quote's report data.
+        let mut rng = StdRng::seed_from_u64(22);
+        descriptors[1].public_key = *KeyPair::generate(&mut rng).public();
+        assert_eq!(
+            CascadeClient::from_attested_hops(&descriptors, &service),
+            Err(CascadeError::Attestation { hop: 1 })
+        );
+    }
+
+    #[test]
+    fn foreign_platform_quote_is_rejected() {
+        let (descriptors, _) = descriptors(2);
+        let other = AttestationService::new(&mut StdRng::seed_from_u64(23));
+        assert!(matches!(
+            CascadeClient::from_attested_hops(&descriptors, &other),
+            Err(CascadeError::Attestation { hop: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_chain_is_rejected() {
+        let (_, service) = descriptors(1);
+        assert_eq!(
+            CascadeClient::from_attested_hops(&[], &service),
+            Err(CascadeError::NoActiveHops)
+        );
+    }
+
+    #[test]
+    fn sealed_update_grows_by_one_envelope_per_hop_per_layer() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let keys: Vec<PublicKey> = (0..3)
+            .map(|_| *KeyPair::generate(&mut rng).public())
+            .collect();
+        let params = ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![1.0; 4]),
+            LayerParams::from_values(vec![2.0; 2]),
+        ]);
+        let sizes: Vec<usize> = (1..=3)
+            .map(|n| {
+                CascadeClient::from_keys(keys[..n].to_vec())
+                    .seal_update(&params, &mut rng)
+                    .len()
+            })
+            .collect();
+        // Two layers ⇒ each extra hop adds 2 × sealed-box overhead.
+        let overhead = 2 * mixnn_crypto::sealed_box::OVERHEAD;
+        assert_eq!(sizes[1] - sizes[0], overhead);
+        assert_eq!(sizes[2] - sizes[1], overhead);
+    }
+}

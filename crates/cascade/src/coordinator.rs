@@ -1,0 +1,718 @@
+//! Driving rounds through the chain.
+
+use crate::topology::uniform_route;
+use crate::{
+    CascadeClient, CascadeError, CascadeHop, CascadeHopConfig, CascadeTopology, HopDescriptor,
+    LinearChain, OnionUpdate,
+};
+use mixnn_core::{shard_seed, MixPlan, ProxyStats};
+use mixnn_enclave::AttestationService;
+use mixnn_nn::{LayerParams, ModelParams};
+use rand::Rng;
+
+/// How many client slots [`CascadeCoordinator::client`] probes when
+/// checking that the topology routes everyone identically (the linear
+/// coordinator's standing requirement; `run_round` re-validates against
+/// each round's actual size).
+const UNIFORMITY_PROBE_SLOTS: usize = 64;
+
+/// What the coordinator does when a hop fails mid-round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Fail the round (fail-closed: no update reaches the server through a
+    /// degraded chain). The default.
+    #[default]
+    Abort,
+    /// Mark the hop as down, rebuild the onions for the surviving chain
+    /// and retry the round. The hop stays skipped for subsequent rounds
+    /// until [`CascadeCoordinator::reinstate`].
+    Skip,
+}
+
+/// Configuration of a whole cascade.
+#[derive(Debug, Clone)]
+pub struct CascadeConfig {
+    /// Layer signature of the model being proxied. The cascade — unlike
+    /// the single proxy — cannot infer it from traffic: intermediate hops
+    /// only ever see ciphertext blobs.
+    pub expected_signature: Vec<usize>,
+    /// One configuration per hop, in chain order.
+    pub hops: Vec<CascadeHopConfig>,
+    /// Skip-or-abort semantics for hop failures.
+    pub policy: FailurePolicy,
+}
+
+/// Everything one cascade round produced.
+#[derive(Debug, Clone)]
+pub struct CascadeRound {
+    /// The mixed updates as the server receives them, in slot order.
+    pub mixed: Vec<ModelParams>,
+    /// The per-hop mixing plans, for audits and experiments (never exposed
+    /// in a deployment).
+    pub audit: CascadeAudit,
+    /// Hop indices the round actually traversed, in order.
+    pub chain: Vec<usize>,
+    /// Hops newly skipped while running this round (non-empty only under
+    /// [`FailurePolicy::Skip`]).
+    pub skipped_this_round: Vec<usize>,
+}
+
+/// The composition of the chain's per-hop [`MixPlan`]s.
+///
+/// Each hop's plan is a per-layer permutation, so their composition is
+/// too — which is exactly why the server-side aggregate is untouched and
+/// why a full-collusion adversary (and only a full-collusion adversary)
+/// can invert the mix. See `mixnn_attacks::collusion` for the adversary's
+/// view; this type is the honest auditor's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeAudit {
+    plans: Vec<MixPlan>,
+}
+
+impl CascadeAudit {
+    /// Builds an audit from plans in chain order (first applied first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plans disagree on participants or layers — such a
+    /// sequence cannot have come from one round, so composing it is a
+    /// construction bug, not a runtime condition. (This is what keeps
+    /// [`CascadeAudit::composed_source`]'s index arithmetic total.)
+    pub fn new(plans: Vec<MixPlan>) -> Self {
+        if let Some(first) = plans.first() {
+            for (i, plan) in plans.iter().enumerate() {
+                assert_eq!(
+                    (plan.participants(), plan.layers()),
+                    (first.participants(), first.layers()),
+                    "plan {i} disagrees with plan 0 on round dimensions"
+                );
+            }
+        }
+        CascadeAudit { plans }
+    }
+
+    /// The per-hop plans in chain order.
+    pub fn plans(&self) -> &[MixPlan] {
+        &self.plans
+    }
+
+    /// The original client slot whose layer `layer` ended up in final
+    /// output `output`, traced back through every hop.
+    pub fn composed_source(&self, layer: usize, output: usize) -> Option<usize> {
+        let mut idx = output;
+        for plan in self.plans.iter().rev() {
+            idx = plan.source(layer, idx)?;
+        }
+        Some(idx)
+    }
+
+    /// Inverts the whole cascade: reassembles each client's original
+    /// update from the mixed outputs. Restores both the client order and
+    /// the exact layer bits — the correctness check behind the utility
+    /// equivalence claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Audit`] when `mixed` does not match the
+    /// plans' dimensions.
+    pub fn unmix(&self, mixed: &[ModelParams]) -> Result<Vec<ModelParams>, CascadeError> {
+        let Some(first) = self.plans.first() else {
+            return Ok(mixed.to_vec()); // no hops: the identity cascade
+        };
+        let c = first.participants();
+        let layers = first.layers();
+        if mixed.len() != c || mixed.iter().any(|m| m.num_layers() != layers) {
+            return Err(CascadeError::Audit {
+                reason: format!(
+                    "plans cover {c} updates of {layers} layers, got {} updates",
+                    mixed.len()
+                ),
+            });
+        }
+        let mut slots: Vec<Vec<Option<LayerParams>>> = vec![vec![None; layers]; c];
+        for (i, m) in mixed.iter().enumerate() {
+            for (l, layer) in m.iter().enumerate() {
+                let src = self
+                    .composed_source(l, i)
+                    .expect("dimensions checked above");
+                slots[src][l] = Some(layer.clone());
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|row| {
+                ModelParams::from_layers(
+                    row.into_iter()
+                        .map(|slot| slot.expect("composed permutation covers every cell"))
+                        .collect(),
+                )
+            })
+            .collect())
+    }
+}
+
+/// Owns the chain and drives rounds end-to-end: seals the round's onions,
+/// feeds them hop to hop, decodes the last hop's plaintext output, and
+/// applies the configured failure semantics.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_cascade::{CascadeCoordinator, FailurePolicy};
+/// use mixnn_enclave::AttestationService;
+/// use mixnn_nn::{LayerParams, ModelParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_cascade::CascadeError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let service = AttestationService::new(&mut rng);
+/// let mut cascade =
+///     CascadeCoordinator::linear(vec![2, 3], 3, 7, FailurePolicy::Abort, &service, &mut rng)?;
+/// let updates: Vec<ModelParams> = (0..5)
+///     .map(|i| ModelParams::from_layers(vec![
+///         LayerParams::from_values(vec![i as f32; 2]),
+///         LayerParams::from_values(vec![-(i as f32); 3]),
+///     ]))
+///     .collect();
+/// let round = cascade.run_round(&updates, &mut rng)?;
+/// // Utility equivalence: the aggregate is bit-identical…
+/// assert_eq!(ModelParams::mean(&updates), ModelParams::mean(&round.mixed));
+/// // …and the audit can invert the whole chain.
+/// assert_eq!(round.audit.unmix(&round.mixed)?, updates);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CascadeCoordinator {
+    topology: Box<dyn CascadeTopology>,
+    hops: Vec<CascadeHop>,
+    skipped: Vec<bool>,
+    signature: Vec<usize>,
+    policy: FailurePolicy,
+}
+
+impl CascadeCoordinator {
+    /// Launches every hop of `config` and binds them to `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Topology`] if the topology's hop count does
+    /// not match the configured hops, [`CascadeError::NoActiveHops`] for an
+    /// empty chain, and [`CascadeError::SignatureMismatch`] for an empty
+    /// signature (intermediate hops cannot infer one from ciphertext).
+    pub fn launch<R: Rng + ?Sized>(
+        config: CascadeConfig,
+        topology: Box<dyn CascadeTopology>,
+        attestation: &AttestationService,
+        rng: &mut R,
+    ) -> Result<Self, CascadeError> {
+        if config.hops.is_empty() {
+            return Err(CascadeError::NoActiveHops);
+        }
+        if config.expected_signature.is_empty() {
+            return Err(CascadeError::SignatureMismatch {
+                expected: vec![1],
+                actual: vec![],
+            });
+        }
+        if topology.num_hops() != config.hops.len() {
+            return Err(CascadeError::Topology {
+                reason: format!(
+                    "layout '{}' spans {} hops but {} were configured",
+                    topology.name(),
+                    topology.num_hops(),
+                    config.hops.len()
+                ),
+            });
+        }
+        let layers = config.expected_signature.len();
+        let hops: Vec<CascadeHop> = config
+            .hops
+            .into_iter()
+            .enumerate()
+            .map(|(i, hop_config)| CascadeHop::launch(i, hop_config, layers, attestation, rng))
+            .collect();
+        Ok(CascadeCoordinator {
+            skipped: vec![false; hops.len()],
+            topology,
+            hops,
+            signature: config.expected_signature,
+            policy: config.policy,
+        })
+    }
+
+    /// Convenience constructor for the classic linear cascade: `hop_count`
+    /// hops with per-hop seeds derived from `base_seed` via [`shard_seed`].
+    /// The derivation depends only on `(base_seed, hop index)`, so within
+    /// one chain every hop draws from its own stream, and hop `i` draws
+    /// the *same* stream regardless of chain length — deliberate, for
+    /// reproducible cross-length sweeps from one base seed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CascadeCoordinator::launch`].
+    pub fn linear<R: Rng + ?Sized>(
+        expected_signature: Vec<usize>,
+        hop_count: usize,
+        base_seed: u64,
+        policy: FailurePolicy,
+        attestation: &AttestationService,
+        rng: &mut R,
+    ) -> Result<Self, CascadeError> {
+        let hops = (0..hop_count)
+            .map(|i| CascadeHopConfig {
+                seed: shard_seed(base_seed, i),
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        Self::launch(
+            CascadeConfig {
+                expected_signature,
+                hops,
+                policy,
+            },
+            Box::new(LinearChain::new(hop_count.max(1))),
+            attestation,
+            rng,
+        )
+    }
+
+    /// The hops, in chain order (skipped ones included).
+    pub fn hops(&self) -> &[CascadeHop] {
+        &self.hops
+    }
+
+    /// The configured failure policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// The model signature the cascade routes.
+    pub fn signature(&self) -> &[usize] {
+        &self.signature
+    }
+
+    /// Indices of hops currently marked down.
+    pub fn skipped_hops(&self) -> Vec<usize> {
+        (0..self.hops.len()).filter(|&i| self.skipped[i]).collect()
+    }
+
+    /// Brings a skipped hop back into the chain (operator action after
+    /// recovery).
+    pub fn reinstate(&mut self, hop: usize) {
+        if let Some(flag) = self.skipped.get_mut(hop) {
+            *flag = false;
+        }
+    }
+
+    /// Per-hop cost statistics, in chain order.
+    ///
+    /// Stats count the work each hop actually performed. Under
+    /// [`FailurePolicy::Skip`] that includes aborted attempts: hops
+    /// *earlier* than a failing hop processed the round once before the
+    /// retry, so after a skip their counters reflect both the wasted
+    /// attempt and the successful one (just like a real server's request
+    /// counters across client retries). Divide by attempts — one plus the
+    /// round's `skipped_this_round.len()` — when a per-logical-round cost
+    /// is needed.
+    pub fn hop_stats(&self) -> Vec<ProxyStats> {
+        self.hops.iter().map(CascadeHop::stats).collect()
+    }
+
+    /// Attestation descriptors of the full chain, in chain order — what an
+    /// operator publishes for participants.
+    pub fn descriptors(&self) -> Vec<HopDescriptor> {
+        self.hops.iter().map(CascadeHop::descriptor).collect()
+    }
+
+    /// Builds a **verified** participant-side client over the currently
+    /// active chain: every hop's quote is checked against `attestation`
+    /// before its key is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Attestation`] (with the hop's position in
+    /// the active chain) when verification fails, or
+    /// [`CascadeError::NoActiveHops`] / [`CascadeError::Topology`] when no
+    /// routable chain exists.
+    pub fn client(&self, attestation: &AttestationService) -> Result<CascadeClient, CascadeError> {
+        // Probe topology uniformity over a window of slots rather than a
+        // single one, so a non-uniform layout is rejected here — where the
+        // participant would otherwise build onions for a chain `run_round`
+        // (which re-validates against the actual round size) will never
+        // drive.
+        let chain = self.active_chain(UNIFORMITY_PROBE_SLOTS)?;
+        let descriptors: Vec<HopDescriptor> =
+            chain.iter().map(|&h| self.hops[h].descriptor()).collect();
+        CascadeClient::from_attested_hops(&descriptors, attestation)
+    }
+
+    /// The active route: the topology's uniform route with skipped hops
+    /// removed.
+    fn active_chain(&self, clients: usize) -> Result<Vec<usize>, CascadeError> {
+        let route = uniform_route(self.topology.as_ref(), clients.max(1))?;
+        let chain: Vec<usize> = route.into_iter().filter(|&h| !self.skipped[h]).collect();
+        if chain.is_empty() {
+            return Err(CascadeError::NoActiveHops);
+        }
+        Ok(chain)
+    }
+
+    /// Drives one round end-to-end: onion-encrypt every update for the
+    /// active chain (drawing sealing entropy from `rng`), pass the batch
+    /// hop to hop, decode the final plaintext updates.
+    ///
+    /// Under [`FailurePolicy::Skip`], a failing hop is marked down and the
+    /// round restarts on the surviving chain — the onions are rebuilt,
+    /// because each envelope is bound to a specific hop key. Hops earlier
+    /// in the chain re-run on the rebuilt batch (with fresh plans and
+    /// sealing entropy), and their [`CascadeCoordinator::hop_stats`] keep
+    /// the aborted attempt's work. Under [`FailurePolicy::Abort`] the
+    /// first hop failure fails the round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::EmptyRound`] /
+    /// [`CascadeError::SignatureMismatch`] for bad input,
+    /// [`CascadeError::NoActiveHops`] when skipping exhausts the chain, and
+    /// the failing hop's error under abort semantics.
+    pub fn run_round<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[ModelParams],
+        rng: &mut R,
+    ) -> Result<CascadeRound, CascadeError> {
+        if updates.is_empty() {
+            return Err(CascadeError::EmptyRound);
+        }
+        for u in updates {
+            if u.signature() != self.signature {
+                return Err(CascadeError::SignatureMismatch {
+                    expected: self.signature.clone(),
+                    actual: u.signature(),
+                });
+            }
+        }
+
+        let mut skipped_this_round = Vec::new();
+        loop {
+            let chain = self.active_chain(updates.len())?;
+            let keys = chain.iter().map(|&h| *self.hops[h].public_key()).collect();
+            let client = CascadeClient::from_keys(keys);
+            let mut batch: Vec<Vec<u8>> =
+                updates.iter().map(|u| client.seal_update(u, rng)).collect();
+
+            let mut plans = Vec::with_capacity(chain.len());
+            let mut failure: Option<(usize, CascadeError)> = None;
+            for &h in &chain {
+                match self.hops[h].mix_round(&batch) {
+                    Ok((out, plan)) => {
+                        batch = out;
+                        plans.push(plan);
+                    }
+                    Err(e) => {
+                        failure = Some((h, e));
+                        break;
+                    }
+                }
+            }
+            match failure {
+                None => {
+                    let mut mixed = Vec::with_capacity(batch.len());
+                    for wire in &batch {
+                        mixed.push(OnionUpdate::decode(wire)?.into_params(&self.signature)?);
+                    }
+                    return Ok(CascadeRound {
+                        mixed,
+                        audit: CascadeAudit::new(plans),
+                        chain,
+                        skipped_this_round,
+                    });
+                }
+                Some((hop, e)) => match self.policy {
+                    FailurePolicy::Abort => return Err(e),
+                    FailurePolicy::Skip => {
+                        self.skipped[hop] = true;
+                        skipped_this_round.push(hop);
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixnn_enclave::EnclaveConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(i: usize) -> ModelParams {
+        ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![i as f32; 3]),
+            LayerParams::from_values(vec![(i * 10) as f32; 2]),
+        ])
+    }
+
+    fn updates(c: usize) -> Vec<ModelParams> {
+        (0..c).map(params).collect()
+    }
+
+    fn launch(
+        hop_count: usize,
+        policy: FailurePolicy,
+    ) -> (CascadeCoordinator, AttestationService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let service = AttestationService::new(&mut rng);
+        let cascade =
+            CascadeCoordinator::linear(vec![3, 2], hop_count, 9, policy, &service, &mut rng)
+                .unwrap();
+        (cascade, service, rng)
+    }
+
+    #[test]
+    fn round_preserves_aggregate_and_unmixes_at_every_hop_count() {
+        for hop_count in 1..=4 {
+            let (mut cascade, _, mut rng) = launch(hop_count, FailurePolicy::Abort);
+            let ins = updates(6);
+            let round = cascade.run_round(&ins, &mut rng).unwrap();
+            assert_eq!(round.mixed.len(), 6);
+            assert_eq!(round.chain.len(), hop_count);
+            assert_eq!(
+                ModelParams::mean(&ins),
+                ModelParams::mean(&round.mixed),
+                "hop_count={hop_count}"
+            );
+            assert_eq!(
+                round.audit.unmix(&round.mixed).unwrap(),
+                ins,
+                "hop_count={hop_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_hop_round_actually_re_mixes() {
+        let (mut cascade, _, mut rng) = launch(3, FailurePolicy::Abort);
+        let ins = updates(8);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(round.audit.plans().len(), 3);
+        let changed = ins.iter().zip(&round.mixed).filter(|(a, b)| a != b).count();
+        assert!(changed > 0, "no update changed content after cascading");
+        // The composed permutation differs from every single hop's plan for
+        // at least one cell in general; at minimum it must be a valid
+        // permutation per layer.
+        for l in 0..2 {
+            let mut seen = [false; 8];
+            for i in 0..8 {
+                let src = round.audit.composed_source(l, i).unwrap();
+                assert!(!seen[src], "layer {l} output {i} reuses source {src}");
+                seen[src] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn verified_client_round_trips_through_the_chain() {
+        let (cascade, service, _) = launch(3, FailurePolicy::Abort);
+        let client = cascade.client(&service).unwrap();
+        assert_eq!(client.num_hops(), 3);
+        let foreign = AttestationService::new(&mut StdRng::seed_from_u64(99));
+        assert!(matches!(
+            cascade.client(&foreign),
+            Err(CascadeError::Attestation { .. })
+        ));
+    }
+
+    #[test]
+    fn abort_policy_surfaces_the_hop_failure() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let service = AttestationService::new(&mut rng);
+        let mut hops: Vec<CascadeHopConfig> = (0..3)
+            .map(|i| CascadeHopConfig {
+                seed: i as u64,
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        hops[1].enclave = EnclaveConfig {
+            epc_limit: 32, // cannot hold a round
+            code_identity: crate::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+        let mut cascade = CascadeCoordinator::launch(
+            CascadeConfig {
+                expected_signature: vec![3, 2],
+                hops,
+                policy: FailurePolicy::Abort,
+            },
+            Box::new(LinearChain::new(3)),
+            &service,
+            &mut rng,
+        )
+        .unwrap();
+        let err = cascade.run_round(&updates(5), &mut rng).unwrap_err();
+        assert!(matches!(err, CascadeError::Hop { hop: 1, .. }));
+        assert!(cascade.skipped_hops().is_empty(), "abort must not skip");
+    }
+
+    #[test]
+    fn skip_policy_routes_around_a_dead_hop_and_stays_correct() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let service = AttestationService::new(&mut rng);
+        let mut hops: Vec<CascadeHopConfig> = (0..3)
+            .map(|i| CascadeHopConfig {
+                seed: 50 + i as u64,
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        hops[1].enclave = EnclaveConfig {
+            epc_limit: 32,
+            code_identity: crate::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+        let mut cascade = CascadeCoordinator::launch(
+            CascadeConfig {
+                expected_signature: vec![3, 2],
+                hops,
+                policy: FailurePolicy::Skip,
+            },
+            Box::new(LinearChain::new(3)),
+            &service,
+            &mut rng,
+        )
+        .unwrap();
+        let ins = updates(5);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(round.skipped_this_round, vec![1]);
+        assert_eq!(round.chain, vec![0, 2]);
+        assert_eq!(cascade.skipped_hops(), vec![1]);
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&round.mixed));
+        assert_eq!(round.audit.unmix(&round.mixed).unwrap(), ins);
+
+        // The skip is sticky: the next round goes straight to the
+        // surviving chain…
+        let round2 = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(round2.chain, vec![0, 2]);
+        assert!(round2.skipped_this_round.is_empty());
+
+        // …until the operator reinstates the hop (here still broken, so it
+        // is skipped again).
+        cascade.reinstate(1);
+        assert!(cascade.skipped_hops().is_empty());
+        let round3 = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(round3.skipped_this_round, vec![1]);
+    }
+
+    #[test]
+    fn skip_exhaustion_reports_no_active_hops() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let service = AttestationService::new(&mut rng);
+        let dead = EnclaveConfig {
+            epc_limit: 8,
+            code_identity: crate::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+        let mut cascade = CascadeCoordinator::launch(
+            CascadeConfig {
+                expected_signature: vec![3, 2],
+                hops: (0..2)
+                    .map(|i| CascadeHopConfig {
+                        enclave: dead.clone(),
+                        seed: i as u64,
+                    })
+                    .collect(),
+                policy: FailurePolicy::Skip,
+            },
+            Box::new(LinearChain::new(2)),
+            &service,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(
+            cascade.run_round(&updates(4), &mut rng).unwrap_err(),
+            CascadeError::NoActiveHops
+        );
+    }
+
+    #[test]
+    fn bad_input_is_rejected_before_any_hop_runs() {
+        let (mut cascade, _, mut rng) = launch(2, FailurePolicy::Abort);
+        assert_eq!(
+            cascade.run_round(&[], &mut rng).unwrap_err(),
+            CascadeError::EmptyRound
+        );
+        let alien = vec![ModelParams::from_layers(vec![LayerParams::from_values(
+            vec![0.0],
+        )])];
+        assert!(matches!(
+            cascade.run_round(&alien, &mut rng).unwrap_err(),
+            CascadeError::SignatureMismatch { .. }
+        ));
+        assert_eq!(cascade.hop_stats()[0].updates_received, 0);
+    }
+
+    #[test]
+    fn launch_validates_configuration() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let service = AttestationService::new(&mut rng);
+        assert!(matches!(
+            CascadeCoordinator::launch(
+                CascadeConfig {
+                    expected_signature: vec![2],
+                    hops: vec![],
+                    policy: FailurePolicy::Abort,
+                },
+                Box::new(LinearChain::new(1)),
+                &service,
+                &mut rng,
+            ),
+            Err(CascadeError::NoActiveHops)
+        ));
+        assert!(matches!(
+            CascadeCoordinator::launch(
+                CascadeConfig {
+                    expected_signature: vec![],
+                    hops: vec![CascadeHopConfig::default()],
+                    policy: FailurePolicy::Abort,
+                },
+                Box::new(LinearChain::new(1)),
+                &service,
+                &mut rng,
+            ),
+            Err(CascadeError::SignatureMismatch { .. })
+        ));
+        assert!(matches!(
+            CascadeCoordinator::launch(
+                CascadeConfig {
+                    expected_signature: vec![2],
+                    hops: vec![CascadeHopConfig::default()],
+                    policy: FailurePolicy::Abort,
+                },
+                Box::new(LinearChain::new(2)),
+                &service,
+                &mut rng,
+            ),
+            Err(CascadeError::Topology { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with plan 0")]
+    fn audit_rejects_inconsistent_plans_at_construction() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let a = MixPlan::latin(5, 2, &mut rng).unwrap();
+        let b = MixPlan::latin(4, 2, &mut rng).unwrap();
+        let _ = CascadeAudit::new(vec![a, b]);
+    }
+
+    #[test]
+    fn unmix_rejects_mismatched_dimensions() {
+        let (mut cascade, _, mut rng) = launch(2, FailurePolicy::Abort);
+        let ins = updates(5);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert!(matches!(
+            round.audit.unmix(&round.mixed[..3]),
+            Err(CascadeError::Audit { .. })
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+use mixnn_core::ProxyError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the mix cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CascadeError {
+    /// A hop failed while processing a round (decryption failure, EPC
+    /// exhaustion, malformed inner blob, plan failure).
+    Hop {
+        /// Index of the failing hop in the cascade's hop list.
+        hop: usize,
+        /// The underlying proxy-level failure.
+        source: ProxyError,
+    },
+    /// An onion message could not be decoded from its wire framing.
+    Onion {
+        /// Human-readable decode failure.
+        reason: String,
+    },
+    /// A hop's attestation quote failed verification — the client must not
+    /// encrypt to it.
+    Attestation {
+        /// Index of the unverifiable hop.
+        hop: usize,
+    },
+    /// Every hop of the cascade has been skipped; there is no chain left
+    /// to route through.
+    NoActiveHops,
+    /// A round was started with no updates.
+    EmptyRound,
+    /// An update's layer signature does not match the cascade's configured
+    /// model.
+    SignatureMismatch {
+        /// Signature the cascade expects.
+        expected: Vec<usize>,
+        /// Signature observed.
+        actual: Vec<usize>,
+    },
+    /// The topology produced routes the coordinator cannot drive (e.g.
+    /// per-client routes that differ, which needs free-route mixing).
+    Topology {
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// An audit operation was handed data that does not fit its recorded
+    /// plans (wrong update count or layer shape).
+    Audit {
+        /// Human-readable dimension mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CascadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CascadeError::Hop { hop, source } => write!(f, "cascade hop {hop} failed: {source}"),
+            CascadeError::Onion { reason } => write!(f, "malformed onion message: {reason}"),
+            CascadeError::Attestation { hop } => {
+                write!(f, "hop {hop} failed attestation; refusing to encrypt to it")
+            }
+            CascadeError::NoActiveHops => write!(f, "no active hops left in the cascade"),
+            CascadeError::EmptyRound => write!(f, "cascade round started with no updates"),
+            CascadeError::SignatureMismatch { expected, actual } => write!(
+                f,
+                "update signature {actual:?} does not match cascade model {expected:?}"
+            ),
+            CascadeError::Topology { reason } => write!(f, "unsupported topology: {reason}"),
+            CascadeError::Audit { reason } => write!(f, "audit failure: {reason}"),
+        }
+    }
+}
+
+impl Error for CascadeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CascadeError::Hop { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CascadeError> for mixnn_fl::FlError {
+    fn from(e: CascadeError) -> Self {
+        mixnn_fl::FlError::Transport {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_error_carries_source() {
+        let e = CascadeError::Hop {
+            hop: 2,
+            source: ProxyError::InsufficientUpdates { have: 0, need: 1 },
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("hop 2"));
+    }
+
+    #[test]
+    fn converts_to_fl_transport_error() {
+        let e = CascadeError::NoActiveHops;
+        let fl: mixnn_fl::FlError = e.into();
+        assert!(matches!(fl, mixnn_fl::FlError::Transport { .. }));
+        assert!(fl.to_string().contains("no active hops"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CascadeError>();
+    }
+}

@@ -1,0 +1,420 @@
+//! One proxy of the cascade.
+//!
+//! A [`CascadeHop`] is the cascade's analogue of `mixnn_core::MixnnProxy`:
+//! an enclave-resident, attested service. The difference is what it mixes —
+//! an intermediate hop never sees plaintext parameters, only the next
+//! envelope of each onion layer, so it shuffles **opaque blobs** with a
+//! fresh [`MixPlan`] per round and forwards re-framed ciphertext. The EPC
+//! budget, attestation story and §6.5-style [`ProxyStats`] accounting are
+//! the same machinery the single-proxy pipeline uses.
+
+use crate::{CascadeError, OnionUpdate};
+use mixnn_core::{MixPlan, ProxyError, ProxyStats};
+use mixnn_crypto::PublicKey;
+use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Canonical code identity of the published cascade-hop enclave binary.
+/// Every hop of a chain must measure to this; configs that override the
+/// enclave settings should keep deriving `code_identity` from this one
+/// constant so a typo'd copy cannot silently self-attest under a
+/// different identity.
+pub const HOP_CODE_IDENTITY: &[u8] = b"mixnn cascade hop v1";
+
+/// Configuration of one cascade hop.
+#[derive(Debug, Clone)]
+pub struct CascadeHopConfig {
+    /// Enclave settings (EPC limit, code identity).
+    pub enclave: EnclaveConfig,
+    /// RNG seed for this hop's mixing decisions.
+    pub seed: u64,
+}
+
+impl Default for CascadeHopConfig {
+    fn default() -> Self {
+        CascadeHopConfig {
+            enclave: EnclaveConfig {
+                code_identity: HOP_CODE_IDENTITY.to_vec(),
+                ..EnclaveConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// What a participant needs to verify a hop before encrypting to it: its
+/// quote, its public key, and the measurement the published hop code
+/// should produce.
+#[derive(Debug, Clone)]
+pub struct HopDescriptor {
+    /// The hop's attestation quote.
+    pub quote: Quote,
+    /// The enclave public key the onion layer for this hop is sealed to.
+    pub public_key: PublicKey,
+    /// Measurement of the published hop code.
+    pub expected_measurement: Measurement,
+}
+
+/// One mixing proxy in the chain.
+#[derive(Debug)]
+pub struct CascadeHop {
+    index: usize,
+    enclave: Enclave,
+    expected_measurement: Measurement,
+    rng: StdRng,
+    layers: usize,
+    stats: ProxyStats,
+}
+
+impl CascadeHop {
+    /// Launches the hop inside a fresh enclave.
+    ///
+    /// `index` is the hop's position in the coordinator's hop list (used
+    /// in error reports); `layers` is the number of per-layer blobs every
+    /// onion must carry (the model's layer count).
+    pub fn launch<R: Rng + ?Sized>(
+        index: usize,
+        config: CascadeHopConfig,
+        layers: usize,
+        attestation: &AttestationService,
+        rng: &mut R,
+    ) -> Self {
+        let expected_measurement = Enclave::expected_measurement(&config.enclave);
+        let enclave = Enclave::launch(config.enclave, attestation, rng);
+        CascadeHop {
+            index,
+            enclave,
+            expected_measurement,
+            rng: StdRng::seed_from_u64(config.seed),
+            layers,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// The hop's position in the cascade.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The enclave public key this hop's onion envelope is sealed to.
+    pub fn public_key(&self) -> &PublicKey {
+        self.enclave.public_key()
+    }
+
+    /// The hop's attestation quote.
+    pub fn quote(&self) -> &Quote {
+        self.enclave.quote()
+    }
+
+    /// Everything a participant needs to attest this hop.
+    pub fn descriptor(&self) -> HopDescriptor {
+        HopDescriptor {
+            quote: self.enclave.quote().clone(),
+            public_key: *self.enclave.public_key(),
+            expected_measurement: self.expected_measurement,
+        }
+    }
+
+    /// Full participant-side verification of this hop's quote and key
+    /// binding.
+    pub fn verify_against(&self, attestation: &AttestationService) -> bool {
+        attestation.verify_quote(self.quote(), &self.expected_measurement)
+            && self.enclave.quote_binds_key()
+    }
+
+    /// Cost statistics for this hop (the §6.5-style breakdown).
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// Enclave memory statistics.
+    pub fn memory_stats(&self) -> mixnn_enclave::MemoryStats {
+        self.enclave.memory().stats()
+    }
+
+    fn hop_err(&self, source: ProxyError) -> CascadeError {
+        CascadeError::Hop {
+            hop: self.index,
+            source,
+        }
+    }
+
+    /// Opens one wire message: decode framing, unwrap this hop's envelope
+    /// on every layer, charge the unwrapped blobs against the EPC while
+    /// they sit in the mixing lists. `charged` accumulates this round's
+    /// EPC footprint so the caller can release it wholesale.
+    fn ingest_one(
+        &mut self,
+        wire: &[u8],
+        charged: &mut usize,
+        hops_remaining: &mut Option<u8>,
+    ) -> Result<Vec<Vec<u8>>, CascadeError> {
+        let t0 = Instant::now();
+        let onion = OnionUpdate::decode(wire)?;
+        if onion.num_layers() != self.layers {
+            return Err(self.hop_err(ProxyError::SignatureMismatch {
+                expected: vec![self.layers],
+                actual: vec![onion.num_layers()],
+            }));
+        }
+        if onion.hops_remaining() == 0 {
+            return Err(CascadeError::Onion {
+                reason: "no sealed envelopes left for this hop".to_string(),
+            });
+        }
+        match hops_remaining {
+            None => *hops_remaining = Some(onion.hops_remaining()),
+            Some(seen) if *seen != onion.hops_remaining() => {
+                return Err(CascadeError::Onion {
+                    reason: format!(
+                        "mixed onion depths in one round: {seen} vs {}",
+                        onion.hops_remaining()
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+        self.stats.store_seconds += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut blobs = Vec::with_capacity(self.layers);
+        for sealed in onion.into_layers() {
+            let inner = self
+                .enclave
+                .decrypt(&sealed)
+                .map_err(|e| self.hop_err(e.into()))?;
+            // Charge the unwrapped blob while it waits in a mixing list
+            // (the transient decrypt buffer was charged and released inside
+            // `decrypt`).
+            self.enclave
+                .memory()
+                .allocate(inner.len())
+                .map_err(|e| self.hop_err(e.into()))?;
+            *charged += inner.len();
+            blobs.push(inner);
+        }
+        self.stats.decrypt_seconds += t1.elapsed().as_secs_f64();
+        Ok(blobs)
+    }
+
+    /// Processes one round: unwraps this hop's envelope on every (client,
+    /// layer) blob, draws a fresh [`MixPlan`], shuffles the blobs across
+    /// clients per layer, and re-frames the outputs for the next hop (or,
+    /// after the last hop, for the server).
+    ///
+    /// The round is all-or-nothing: any failure — malformed framing, a
+    /// ciphertext this hop cannot open, EPC exhaustion — releases every
+    /// byte charged so far and fails the whole round, so the coordinator
+    /// can apply its skip-or-abort policy. The plan is returned for audits
+    /// and experiments (in a deployment it never leaves the enclave).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Onion`] for framing violations,
+    /// [`CascadeError::Hop`] for enclave/plan failures, and
+    /// [`CascadeError::EmptyRound`] for an empty round.
+    pub fn mix_round(
+        &mut self,
+        incoming: &[Vec<u8>],
+    ) -> Result<(Vec<Vec<u8>>, MixPlan), CascadeError> {
+        if incoming.is_empty() {
+            return Err(CascadeError::EmptyRound);
+        }
+        let mut charged = 0usize;
+        let mut hops_remaining = None;
+        let mut rows: Vec<Vec<Vec<u8>>> = Vec::with_capacity(incoming.len());
+        for wire in incoming {
+            self.stats.bytes_received += wire.len() as u64;
+            match self.ingest_one(wire, &mut charged, &mut hops_remaining) {
+                Ok(blobs) => {
+                    self.stats.updates_received += 1;
+                    rows.push(blobs);
+                }
+                Err(e) => {
+                    self.stats.updates_rejected += 1;
+                    self.stats.bytes_rejected += wire.len() as u64;
+                    self.enclave
+                        .memory()
+                        .free(charged)
+                        .expect("EPC accounting underflow while failing a round");
+                    return Err(e);
+                }
+            }
+        }
+
+        let t0 = Instant::now();
+        // The shared round-plan policy (`MixPlan::for_round`) keeps this
+        // hop's mixing semantics identical to the single proxy's.
+        let plan = MixPlan::for_round(rows.len(), self.layers, &mut self.rng);
+        let mixed = plan
+            .and_then(|plan| Ok((plan.apply_owned(rows)?, plan)))
+            .map_err(|e| {
+                self.enclave
+                    .memory()
+                    .free(charged)
+                    .expect("EPC accounting underflow while failing a round");
+                self.hop_err(e)
+            });
+        let (mixed, plan) = mixed?;
+
+        let out_depth = hops_remaining.expect("non-empty round saw a depth") - 1;
+        let outgoing: Vec<Vec<u8>> = mixed
+            .into_iter()
+            .map(|layers| OnionUpdate::from_parts(out_depth, layers).encode())
+            .collect();
+        self.enclave
+            .memory()
+            .free(charged)
+            .expect("EPC accounting underflow after mixing");
+        self.stats.mix_seconds += t0.elapsed().as_secs_f64();
+        self.stats.updates_forwarded += outgoing.len() as u64;
+        Ok((outgoing, plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixnn_nn::{LayerParams, ModelParams};
+
+    fn params(i: usize) -> ModelParams {
+        ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![i as f32; 3]),
+            LayerParams::from_values(vec![(i * 10) as f32; 2]),
+        ])
+    }
+
+    fn launch_chain(n: usize, layers: usize) -> (Vec<CascadeHop>, AttestationService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let service = AttestationService::new(&mut rng);
+        let hops = (0..n)
+            .map(|i| {
+                CascadeHop::launch(
+                    i,
+                    CascadeHopConfig {
+                        seed: 100 + i as u64,
+                        ..CascadeHopConfig::default()
+                    },
+                    layers,
+                    &service,
+                    &mut rng,
+                )
+            })
+            .collect();
+        (hops, service, rng)
+    }
+
+    fn onions(hops: &[CascadeHop], c: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+        let keys: Vec<PublicKey> = hops.iter().map(|h| *h.public_key()).collect();
+        (0..c)
+            .map(|i| OnionUpdate::build(&params(i), &keys, rng).encode())
+            .collect()
+    }
+
+    #[test]
+    fn hop_verifies_against_the_platform() {
+        let (hops, service, _) = launch_chain(2, 2);
+        for h in &hops {
+            assert!(h.verify_against(&service));
+            let d = h.descriptor();
+            assert!(service.verify_quote(&d.quote, &d.expected_measurement));
+        }
+    }
+
+    #[test]
+    fn two_hop_round_restores_layer_multiset_and_frees_memory() {
+        let (mut hops, _, mut rng) = launch_chain(2, 2);
+        let batch = onions(&hops, 5, &mut rng);
+
+        let (batch, plan0) = hops[0].mix_round(&batch).unwrap();
+        let (batch, plan1) = hops[1].mix_round(&batch).unwrap();
+        assert!(plan0.is_column_bijective());
+        assert!(plan1.is_column_bijective());
+
+        let originals: Vec<ModelParams> = (0..5).map(params).collect();
+        let outputs: Vec<ModelParams> = batch
+            .iter()
+            .map(|wire| {
+                OnionUpdate::decode(wire)
+                    .unwrap()
+                    .into_params(&[3, 2])
+                    .unwrap()
+            })
+            .collect();
+        // Per-layer multiset conservation ⇒ identical mean.
+        assert_eq!(ModelParams::mean(&originals), ModelParams::mean(&outputs));
+        for h in &hops {
+            assert_eq!(h.memory_stats().allocated, 0);
+            assert_eq!(h.stats().updates_received, 5);
+            assert_eq!(h.stats().updates_forwarded, 5);
+        }
+    }
+
+    #[test]
+    fn garbage_wire_fails_the_round_and_leaks_nothing() {
+        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let mut batch = onions(&hops, 3, &mut rng);
+        batch[1] = vec![0u8; 40];
+        assert!(hops[0].mix_round(&batch).is_err());
+        assert_eq!(hops[0].memory_stats().allocated, 0);
+        assert_eq!(hops[0].stats().updates_rejected, 1);
+        assert_eq!(hops[0].stats().bytes_rejected, 40);
+    }
+
+    #[test]
+    fn tampered_envelope_fails_authentication() {
+        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let mut batch = onions(&hops, 3, &mut rng);
+        let last = batch[0].len() - 1;
+        batch[0][last] ^= 1;
+        let err = hops[0].mix_round(&batch).unwrap_err();
+        assert!(matches!(err, CascadeError::Hop { hop: 0, .. }));
+        assert_eq!(hops[0].memory_stats().allocated, 0);
+    }
+
+    #[test]
+    fn epc_exhaustion_fails_the_round_cleanly() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let service = AttestationService::new(&mut rng);
+        let mut hop = CascadeHop::launch(
+            0,
+            CascadeHopConfig {
+                enclave: EnclaveConfig {
+                    epc_limit: 48, // one update's blobs fit, a round's do not
+                    code_identity: HOP_CODE_IDENTITY.to_vec(),
+                    allow_paging: false,
+                },
+                seed: 5,
+            },
+            2,
+            &service,
+            &mut rng,
+        );
+        let keys = [*hop.public_key()];
+        let batch: Vec<Vec<u8>> = (0..4)
+            .map(|i| OnionUpdate::build(&params(i), &keys, &mut rng).encode())
+            .collect();
+        let err = hop.mix_round(&batch).unwrap_err();
+        assert!(matches!(
+            err,
+            CascadeError::Hop {
+                source: ProxyError::Enclave(mixnn_enclave::EnclaveError::MemoryExhausted { .. }),
+                ..
+            }
+        ));
+        assert_eq!(hop.memory_stats().allocated, 0, "failed round must free");
+    }
+
+    #[test]
+    fn fully_unwrapped_round_is_rejected() {
+        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let batch = onions(&hops, 3, &mut rng);
+        let (unwrapped, _) = hops[0].mix_round(&batch).unwrap();
+        // Feeding the plaintext-bearing output back into a hop must fail:
+        // no envelope is addressed to it.
+        let err = hops[0].mix_round(&unwrapped).unwrap_err();
+        assert!(err.to_string().contains("no sealed envelopes"));
+    }
+}

@@ -1,0 +1,68 @@
+//! **Mix cascade** — multi-hop onion-routed chains of MixNN proxies.
+//!
+//! The single-proxy MixNN deployment concentrates all mixing trust in one
+//! enclave: whoever observes that proxy's plaintext view can attribute
+//! every (client, layer) pair. The paper frames MixNN after mix networks,
+//! and mix networks get their strength from *chains* — so this subsystem
+//! routes client updates through a configurable cascade of proxies
+//! instead of exactly one:
+//!
+//! ```text
+//!  client c:  layer l ──seal k₀(seal k₁(seal k₂(plain)))──▶ hop 0 ─▶ hop 1 ─▶ hop 2 ─▶ server
+//!                        (one envelope per hop)               σ₀       σ₁       σ₂
+//! ```
+//!
+//! Each client onion-encrypts every neural-network layer separately: one
+//! [`mixnn_crypto::SealedBox`] envelope per hop, innermost for the last
+//! proxy ([`OnionUpdate`]). Hop `i` unwraps exactly its own envelope on
+//! every (client, layer) blob, applies a fresh per-layer permutation
+//! `σᵢ` (a `mixnn_core::MixPlan` over **opaque ciphertext**), and forwards
+//! re-framed onions to hop `i+1`. Only the last hop uncovers plaintext
+//! layers — by which point the (client, layer) assignment has been
+//! re-drawn by every hop in the chain.
+//!
+//! **The privacy claim this buys:** the composed assignment is
+//! `σ = σ_{n-1} ∘ … ∘ σ₀`, and an adversary must know *every* factor to
+//! invert it. Any proper subset of colluding hops leaves at least one
+//! unknown uniform permutation in the composition, so the residual
+//! anonymity set of every (client, layer) pair stays the full round —
+//! linkability degrades **only when all hops collude**
+//! (`mixnn_attacks::collusion` computes this from the hops' actual plans).
+//!
+//! **The utility claim is unchanged:** every `σᵢ` is a per-layer
+//! permutation, so their composition conserves each layer's multiset and
+//! FedAvg aggregation is bit-for-bit identical — [`CascadeAudit::unmix`]
+//! inverts the whole chain as a checkable witness.
+//!
+//! # Crate layout
+//!
+//! * [`CascadeTopology`] / [`LinearChain`] — which hops a client's onion
+//!   traverses (stratified/free-route layouts fit behind the same trait);
+//! * [`OnionUpdate`] — the per-layer onion wire format;
+//! * [`CascadeHop`] — one enclave-resident proxy: attested, EPC-budgeted,
+//!   `ProxyStats`-accounted, mixing blobs it cannot read;
+//! * [`CascadeClient`] — builds onions from the hops' **attested** keys;
+//! * [`CascadeCoordinator`] — drives rounds end-to-end with configurable
+//!   skip-or-abort failure semantics ([`FailurePolicy`]);
+//! * [`CascadeTransport`] — plugs the cascade into `mixnn_fl` rounds as an
+//!   [`mixnn_fl::UpdateTransport`].
+
+#![deny(missing_docs)]
+
+mod client;
+mod coordinator;
+mod error;
+mod hop;
+mod onion;
+mod topology;
+mod transport;
+
+pub use client::CascadeClient;
+pub use coordinator::{
+    CascadeAudit, CascadeConfig, CascadeCoordinator, CascadeRound, FailurePolicy,
+};
+pub use error::CascadeError;
+pub use hop::{CascadeHop, CascadeHopConfig, HopDescriptor, HOP_CODE_IDENTITY};
+pub use onion::OnionUpdate;
+pub use topology::{uniform_route, CascadeTopology, LinearChain};
+pub use transport::CascadeTransport;

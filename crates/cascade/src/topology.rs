@@ -1,0 +1,126 @@
+//! Cascade layouts: which hops a client's onion traverses, in what order.
+//!
+//! The mix-network literature distinguishes **cascades** (every message
+//! takes the same fixed chain), **stratified** layouts (messages pick one
+//! hop per stratum) and **free routes** (any path). The trait below is the
+//! seam all three fit behind; this crate ships the cascade
+//! ([`LinearChain`]), and the coordinator currently requires the uniform
+//! routes it produces — stratified/free-route layouts are a ROADMAP item
+//! because they need per-route mixing groups at each hop.
+
+use crate::CascadeError;
+use std::fmt;
+
+/// A cascade layout: assigns every client slot a route through the hops.
+///
+/// Routes are hop indices in traversal order. An implementation may route
+/// different clients differently (stratified/free-route mixing); the
+/// linear-chain coordinator rejects such layouts until per-route mixing
+/// lands.
+pub trait CascadeTopology: fmt::Debug {
+    /// Short layout name for reports (e.g. `"linear"`).
+    fn name(&self) -> &str;
+
+    /// Total number of hops the layout is defined over.
+    fn num_hops(&self) -> usize;
+
+    /// The hop route (indices into the coordinator's hop list, in
+    /// traversal order) for one client slot.
+    fn route(&self, client_slot: usize) -> Vec<usize>;
+}
+
+/// The classic mix cascade: every client's onion traverses hop `0`, then
+/// hop `1`, …, then hop `n-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearChain {
+    hops: usize,
+}
+
+impl LinearChain {
+    /// A chain of `hops` proxies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is zero — a cascade without hops is a configuration
+    /// bug, not a runtime condition.
+    pub fn new(hops: usize) -> Self {
+        assert!(hops > 0, "a cascade needs at least one hop");
+        LinearChain { hops }
+    }
+}
+
+impl CascadeTopology for LinearChain {
+    fn name(&self) -> &str {
+        "linear"
+    }
+
+    fn num_hops(&self) -> usize {
+        self.hops
+    }
+
+    fn route(&self, _client_slot: usize) -> Vec<usize> {
+        (0..self.hops).collect()
+    }
+}
+
+/// The single route shared by every one of `clients` slots, or a
+/// [`CascadeError::Topology`] if the layout routes clients differently
+/// (which the linear coordinator cannot drive yet).
+pub fn uniform_route(
+    topology: &dyn CascadeTopology,
+    clients: usize,
+) -> Result<Vec<usize>, CascadeError> {
+    let route = topology.route(0);
+    for slot in 1..clients {
+        if topology.route(slot) != route {
+            return Err(CascadeError::Topology {
+                reason: format!(
+                    "layout '{}' routes clients differently; free-route mixing is not implemented",
+                    topology.name()
+                ),
+            });
+        }
+    }
+    Ok(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_routes_everyone_identically() {
+        let chain = LinearChain::new(3);
+        assert_eq!(chain.route(0), vec![0, 1, 2]);
+        assert_eq!(chain.route(7), vec![0, 1, 2]);
+        assert_eq!(chain.num_hops(), 3);
+        assert_eq!(uniform_route(&chain, 12).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_hop_chain_panics() {
+        let _ = LinearChain::new(0);
+    }
+
+    #[test]
+    fn non_uniform_layout_is_rejected() {
+        #[derive(Debug)]
+        struct PerClient;
+        impl CascadeTopology for PerClient {
+            fn name(&self) -> &str {
+                "per-client"
+            }
+            fn num_hops(&self) -> usize {
+                2
+            }
+            fn route(&self, client_slot: usize) -> Vec<usize> {
+                vec![client_slot % 2]
+            }
+        }
+        assert!(matches!(
+            uniform_route(&PerClient, 4),
+            Err(CascadeError::Topology { .. })
+        ));
+    }
+}

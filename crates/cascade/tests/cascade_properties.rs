@@ -1,0 +1,199 @@
+//! The cascade's load-bearing correctness properties, under arbitrary
+//! round shapes:
+//!
+//! * composing the per-hop permutations across 1..4 hops and unmixing at
+//!   the server restores the client order and the exact `ModelParams`
+//!   bits;
+//! * the server-side aggregate is bit-identical to classic FL at every
+//!   hop count;
+//! * both still hold when an intermediate hop dies of EPC exhaustion
+//!   mid-round under the skip policy (the surviving chain carries the
+//!   round).
+
+use mixnn_cascade::{
+    CascadeConfig, CascadeCoordinator, CascadeHopConfig, FailurePolicy, LinearChain,
+};
+use mixnn_enclave::{AttestationService, EnclaveConfig};
+use mixnn_nn::{LayerParams, ModelParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn signature(layers: usize) -> Vec<usize> {
+    (0..layers).map(|l| 2 + (l % 3) * 3).collect()
+}
+
+fn round_updates(clients: usize, layers: usize, seed: u64) -> Vec<ModelParams> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+    (0..clients)
+        .map(|_| {
+            ModelParams::from_layers(
+                signature(layers)
+                    .into_iter()
+                    .map(|len| {
+                        LayerParams::from_values(
+                            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn unmix_restores_order_and_bits_across_hop_counts(
+        hops in 1usize..5,
+        clients in 3usize..9,
+        layers in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng);
+        let mut cascade = CascadeCoordinator::linear(
+            signature(layers),
+            hops,
+            seed,
+            FailurePolicy::Abort,
+            &service,
+            &mut rng,
+        )
+        .expect("valid configuration");
+        let updates = round_updates(clients, layers, seed);
+        let round = cascade.run_round(&updates, &mut rng).expect("round runs");
+
+        // Client order and exact bits restored through the composed
+        // inverse…
+        prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &updates);
+        // …and the aggregate never moved in the first place.
+        prop_assert_eq!(
+            ModelParams::mean(&updates),
+            ModelParams::mean(&round.mixed)
+        );
+        // The composition is a permutation per layer (no duplication, no
+        // loss).
+        for l in 0..layers {
+            let mut seen = vec![false; clients];
+            for i in 0..clients {
+                let src = round.audit.composed_source(l, i).expect("in range");
+                prop_assert!(!seen[src]);
+                seen[src] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn epc_exhaustion_at_an_intermediate_hop_skips_and_stays_bit_exact(
+        hops in 2usize..5,
+        dead in 1usize..4,
+        clients in 3usize..8,
+        layers in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let dead = dead.min(hops - 1); // an intermediate (or last) hop
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let service = AttestationService::new(&mut rng);
+        let mut hop_configs: Vec<CascadeHopConfig> = (0..hops)
+            .map(|i| CascadeHopConfig {
+                seed: seed ^ ((i as u64) << 4),
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        // Starve the chosen hop: its EPC cannot hold even one unwrapped
+        // layer blob, so it exhausts mid-round and the skip policy must
+        // route around it.
+        hop_configs[dead].enclave = EnclaveConfig {
+            epc_limit: 4,
+            code_identity: mixnn_cascade::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+        let mut cascade = CascadeCoordinator::launch(
+            CascadeConfig {
+                expected_signature: signature(layers),
+                hops: hop_configs,
+                policy: FailurePolicy::Skip,
+            },
+            Box::new(LinearChain::new(hops)),
+            &service,
+            &mut rng,
+        )
+        .expect("valid configuration");
+
+        let updates = round_updates(clients, layers, seed);
+        let round = cascade.run_round(&updates, &mut rng).expect("skip saves the round");
+
+        prop_assert_eq!(&round.skipped_this_round, &vec![dead]);
+        prop_assert_eq!(round.chain.len(), hops - 1);
+        prop_assert!(!round.chain.contains(&dead));
+        // The surviving chain still carries the round bit-exactly.
+        prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &updates);
+        prop_assert_eq!(
+            ModelParams::mean(&updates),
+            ModelParams::mean(&round.mixed)
+        );
+        // And the dead hop leaked nothing.
+        prop_assert_eq!(cascade.hops()[dead].memory_stats().allocated, 0);
+    }
+}
+
+#[test]
+fn cascade_transport_drives_a_full_fl_round() {
+    use mixnn_cascade::CascadeTransport;
+    use mixnn_data::lfw_like;
+    use mixnn_fl::{FlConfig, FlSimulation};
+    use mixnn_nn::zoo;
+
+    // The cascade-backed transport variant of the simulation: one round of
+    // real local training routed through a 3-hop chain must aggregate
+    // exactly like classic FL.
+    let fed = lfw_like(2).generate().unwrap();
+    let dims = fed.spec().dims;
+    let mut rng = StdRng::seed_from_u64(5);
+    let template = zoo::conv2_fc3(
+        zoo::InputSpec::new(dims.channels, dims.height, dims.width),
+        fed.spec().num_classes,
+        2,
+        8,
+        &mut rng,
+    );
+    let cfg = FlConfig {
+        rounds: 1,
+        local_epochs: 1,
+        batch_size: 16,
+        clients_per_round: 5,
+        seed: 5,
+        ..FlConfig::default()
+    };
+    let layer_signature = template.params().signature();
+
+    let run = |cascaded: bool| {
+        let mut sim = FlSimulation::new(template.clone(), cfg, &fed);
+        if cascaded {
+            let mut rng = StdRng::seed_from_u64(6);
+            let service = AttestationService::new(&mut rng);
+            let cascade = CascadeCoordinator::linear(
+                layer_signature.clone(),
+                3,
+                21,
+                FailurePolicy::Abort,
+                &service,
+                &mut rng,
+            )
+            .unwrap();
+            let mut transport = CascadeTransport::new(cascade, 77);
+            sim.run_round(&mut transport).unwrap();
+        } else {
+            sim.run_round(&mut mixnn_fl::DirectTransport::new())
+                .unwrap();
+        }
+        sim.global().clone()
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "cascading must not change the aggregated global model"
+    );
+}

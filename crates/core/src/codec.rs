@@ -104,6 +104,52 @@ pub fn decode_params(mut bytes: &[u8]) -> Result<ModelParams, ProxyError> {
     Ok(ModelParams::from_layers(layers))
 }
 
+/// Serialized size in bytes of one layer under [`encode_layer`].
+pub fn encoded_layer_len(layer_len: usize) -> usize {
+    4 + 4 * layer_len
+}
+
+/// Encodes a **single** layer's parameter vector: `len u32` followed by
+/// `len` little-endian f32s.
+///
+/// This is the innermost plaintext of a cascade onion — each neural-network
+/// layer travels as its own independently encrypted blob, so the per-layer
+/// framing cannot reference the rest of the model.
+pub fn encode_layer(layer: &LayerParams) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_layer_len(layer.len()));
+    out.put_u32(layer.len() as u32);
+    for &v in layer.values() {
+        out.put_f32_le(v);
+    }
+    out
+}
+
+/// Decodes a single layer encoded by [`encode_layer`].
+///
+/// # Errors
+///
+/// Returns [`ProxyError::Codec`] on truncation or trailing bytes.
+pub fn decode_layer(mut bytes: &[u8]) -> Result<LayerParams, ProxyError> {
+    let fail = |reason: &str| ProxyError::Codec {
+        reason: reason.to_string(),
+    };
+    if bytes.remaining() < 4 {
+        return Err(fail("layer header truncated"));
+    }
+    let len = bytes.get_u32() as usize;
+    if bytes.remaining() < 4 * len {
+        return Err(fail("layer data truncated"));
+    }
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(bytes.get_f32_le());
+    }
+    if bytes.has_remaining() {
+        return Err(fail("trailing bytes after layer data"));
+    }
+    Ok(LayerParams::from_values(values))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +253,31 @@ mod tests {
         bytes.put_u32(u32::MAX);
         let err = decode_params(&bytes).unwrap_err();
         assert!(err.to_string().contains("implausible"));
+    }
+
+    #[test]
+    fn single_layer_round_trips_bit_exactly() {
+        for values in [vec![], vec![1.5f32], vec![f32::MAX, -0.0, 3.25]] {
+            let layer = LayerParams::from_values(values);
+            let bytes = encode_layer(&layer);
+            assert_eq!(bytes.len(), encoded_layer_len(layer.len()));
+            assert_eq!(decode_layer(&bytes).unwrap(), layer);
+        }
+    }
+
+    #[test]
+    fn single_layer_truncation_and_trailing_are_rejected() {
+        let layer = LayerParams::from_values(vec![1.0, 2.0]);
+        let bytes = encode_layer(&layer);
+        for cut in 0..bytes.len() {
+            assert!(decode_layer(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_layer(&extra)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
     }
 
     #[test]

@@ -142,6 +142,29 @@ impl MixPlan {
         }
     }
 
+    /// The plan policy every mixing round in this workspace uses — the
+    /// single proxy's `BatchMixer` and each cascade hop alike: the §4.2
+    /// Latin construction when the model has no more layers than there are
+    /// participants, otherwise the independent per-layer fallback (still
+    /// column-bijective, so still utility-equivalent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::InsufficientUpdates`] for an empty round.
+    pub fn for_round(
+        participants: usize,
+        layers: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self, ProxyError> {
+        if layers <= participants {
+            Self::latin(participants, layers, rng)
+        } else if participants == 0 {
+            Err(ProxyError::InsufficientUpdates { have: 0, need: 1 })
+        } else {
+            Ok(Self::independent(participants, layers, rng))
+        }
+    }
+
     /// The degenerate identity plan (no mixing) — the classic-FL baseline
     /// expressed in the same machinery, for ablations.
     pub fn identity(participants: usize, layers: usize) -> Self {
@@ -220,6 +243,57 @@ impl MixPlan {
     /// updates disagree on layer structure.
     pub fn apply(&self, updates: &[ModelParams]) -> Result<Vec<ModelParams>, ProxyError> {
         self.apply_sharded(updates, 1)
+    }
+
+    /// Applies the plan to opaque per-item rows, consuming them.
+    ///
+    /// `rows[p][l]` is participant `p`'s item for layer `l`; the output's
+    /// `out[i][l]` is `rows[assignments[l][i]][l]`, **moved**, never
+    /// cloned. The plan machinery only relocates things, so the same
+    /// construction that mixes plaintext [`ModelParams`] serves the mix
+    /// cascade, whose intermediate hops shuffle per-layer **ciphertext
+    /// blobs** they cannot decrypt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::InsufficientUpdates`] if the row count does
+    /// not match the plan's participants, or
+    /// [`ProxyError::SignatureMismatch`] if any row's length differs from
+    /// the plan's layer count.
+    pub fn apply_owned<T>(&self, rows: Vec<Vec<T>>) -> Result<Vec<Vec<T>>, ProxyError> {
+        if rows.len() != self.participants {
+            return Err(ProxyError::InsufficientUpdates {
+                have: rows.len(),
+                need: self.participants,
+            });
+        }
+        let layers = self.assignments.len();
+        for row in &rows {
+            if row.len() != layers {
+                return Err(ProxyError::SignatureMismatch {
+                    expected: vec![layers],
+                    actual: vec![row.len()],
+                });
+            }
+        }
+        let mut cells: Vec<Vec<Option<T>>> = rows
+            .into_iter()
+            .map(|row| row.into_iter().map(Some).collect())
+            .collect();
+        let outputs = (0..self.participants)
+            .map(|i| {
+                self.assignments
+                    .iter()
+                    .enumerate()
+                    .map(|(l, col)| {
+                        cells[col[i]][l]
+                            .take()
+                            .expect("plan columns are permutations (all constructors guarantee it)")
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(outputs)
     }
 
     /// Applies the plan with up to `shards` parallel per-layer tasks.
@@ -370,13 +444,7 @@ impl BatchMixer {
         shards: usize,
     ) -> Result<(Vec<ModelParams>, MixPlan), ProxyError> {
         let signature = check_common_signature(updates)?;
-        let c = updates.len();
-        let n = signature.len();
-        let plan = if n <= c {
-            MixPlan::latin(c, n, &mut self.rng)?
-        } else {
-            MixPlan::independent(c, n, &mut self.rng)
-        };
+        let plan = MixPlan::for_round(updates.len(), signature.len(), &mut self.rng)?;
         let mixed = plan.apply_sharded(updates, shards)?;
         Ok((mixed, plan))
     }
@@ -684,6 +752,51 @@ mod tests {
                 assert_eq!(m.layer(l), ups[src].layer(l));
             }
         }
+    }
+
+    #[test]
+    fn apply_owned_matches_apply_on_layer_params() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ups = updates(6, &[2, 3, 1]);
+        let plan = MixPlan::latin(6, 3, &mut rng).unwrap();
+        let expected = plan.apply(&ups).unwrap();
+        let rows: Vec<Vec<LayerParams>> = ups.into_iter().map(ModelParams::into_layers).collect();
+        let moved = plan.apply_owned(rows).unwrap();
+        let moved: Vec<ModelParams> = moved.into_iter().map(ModelParams::from_layers).collect();
+        assert_eq!(expected, moved);
+    }
+
+    #[test]
+    fn apply_owned_works_on_opaque_blobs() {
+        // The cascade's use case: items the plan cannot interpret.
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = MixPlan::latin(4, 2, &mut rng).unwrap();
+        let rows: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|p| (0..2).map(|l| vec![p as u8, l as u8]).collect())
+            .collect();
+        let mixed = plan.apply_owned(rows).unwrap();
+        for (i, out) in mixed.iter().enumerate() {
+            for (l, blob) in out.iter().enumerate() {
+                let src = plan.source(l, i).unwrap();
+                assert_eq!(blob, &vec![src as u8, l as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_owned_rejects_bad_dimensions() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let plan = MixPlan::latin(3, 2, &mut rng).unwrap();
+        let too_few: Vec<Vec<u8>> = vec![vec![0, 1]; 2];
+        assert!(matches!(
+            plan.apply_owned(too_few),
+            Err(ProxyError::InsufficientUpdates { .. })
+        ));
+        let ragged: Vec<Vec<u8>> = vec![vec![0, 1], vec![0, 1], vec![0]];
+        assert!(matches!(
+            plan.apply_owned(ragged),
+            Err(ProxyError::SignatureMismatch { .. })
+        ));
     }
 
     #[test]

@@ -56,6 +56,16 @@ impl Quote {
     pub fn report_data(&self) -> &[u8] {
         &self.report_data
     }
+
+    /// Whether this quote binds `public_key` — the convention used by every
+    /// enclave in this workspace is report data = SHA-256 of the enclave's
+    /// public encryption key, so the attested identity and the key a
+    /// participant encrypts to cannot be split by a man in the middle.
+    /// This is the single home of that invariant; verifiers must not
+    /// re-derive it.
+    pub fn binds_key(&self, public_key: &mixnn_crypto::PublicKey) -> bool {
+        self.report_data == sha256::digest(public_key.as_bytes())
+    }
 }
 
 /// The (simulated) platform attestation authority.

@@ -117,7 +117,7 @@ impl Enclave {
     /// Verifies that this enclave's quote binds its own public key — the
     /// check a participant performs before provisioning.
     pub fn quote_binds_key(&self) -> bool {
-        self.quote.report_data() == mixnn_crypto::sha256::digest(self.keypair.public().as_bytes())
+        self.quote.binds_key(self.keypair.public())
     }
 
     /// Memory accounting handle. The budget's counters are atomic, so this

@@ -1,17 +1,21 @@
-//! The systems view of a MixNN deployment (§4.3 and §6.5 of the paper).
+//! The systems view of a MixNN **cascade** deployment.
 //!
-//! Walks through what an operator and a participant each see: enclave
-//! launch and attestation, sealed update submission, per-stage costs
-//! (decrypt / store / mix), EPC memory accounting, and the batch vs
-//! streaming mixing strategies — including what happens when things go
-//! wrong (tampered ciphertexts, over-budget models).
+//! The single-proxy walkthrough this example used to show had one point
+//! of trust: whoever compromised that proxy saw every (client, layer)
+//! assignment. This version deploys a 3-hop mix cascade instead and walks
+//! through what an operator and a participant each see: per-hop enclave
+//! launch, attestation of **every** hop before the first round, onion
+//! sizes on the wire, per-hop §6.5-style cost breakdowns, the audit that
+//! inverts the chain, and the skip-vs-abort failure semantics when a hop
+//! dies mid-round.
 //!
 //! Run with: `cargo run --release --example proxy_deployment`
 
-use mixnn::crypto::SealedBox;
-use mixnn::enclave::{AttestationService, Enclave, EnclaveConfig};
+use mixnn::cascade::{
+    CascadeClient, CascadeConfig, CascadeCoordinator, CascadeHopConfig, FailurePolicy, LinearChain,
+};
+use mixnn::enclave::{AttestationService, EnclaveConfig};
 use mixnn::nn::{LayerParams, ModelParams};
-use mixnn::proxy::{codec, MixingStrategy, MixnnProxy, MixnnProxyConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,108 +33,139 @@ fn synthetic_update(layers: &[usize], rng: &mut StdRng) -> ModelParams {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(99);
     let signature = vec![4_096usize, 16_384, 8_192, 1_024, 130];
+    let hops = 3;
 
-    // --- Operator side: launch and publish the proxy -------------------
+    // --- Operator side: launch and publish the chain --------------------
     let service = AttestationService::new(&mut rng);
-    let config = MixnnProxyConfig {
-        strategy: MixingStrategy::Batch,
-        expected_signature: signature.clone(),
-        seed: 99,
-        ..MixnnProxyConfig::default()
-    };
-    let mut proxy = MixnnProxy::launch(config, &service, &mut rng);
-    println!(
-        "enclave launched, EPC limit: {} MiB",
-        proxy.memory_stats().limit / (1024 * 1024)
-    );
-
-    // --- Participant side: verify before trusting ----------------------
-    let expected = Enclave::expected_measurement(&EnclaveConfig::default());
-    assert!(service.verify_quote(proxy.quote(), &expected));
-    assert!(proxy.verify_against(&service));
-    println!("attestation verified: quote matches the published proxy code and binds its key");
-
-    // --- A round of sealed updates --------------------------------------
-    let clients = 12;
-    for i in 0..clients {
-        let update = synthetic_update(&signature, &mut rng);
-        let bytes = codec::encode_params(&update);
-        let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
-        if i == 0 {
-            println!(
-                "update wire size: {} bytes plaintext, {} bytes sealed",
-                bytes.len(),
-                sealed.len()
-            );
-        }
-        proxy.submit_encrypted(&sealed)?;
+    let mut cascade = CascadeCoordinator::linear(
+        signature.clone(),
+        hops,
+        99,
+        FailurePolicy::Abort,
+        &service,
+        &mut rng,
+    )?;
+    for hop in cascade.hops() {
+        println!(
+            "hop {} launched, EPC limit: {} MiB",
+            hop.index(),
+            hop.memory_stats().limit / (1024 * 1024)
+        );
     }
+
+    // --- Participant side: attest EVERY hop before the first round ------
+    // One unverified hop would reintroduce the single point of trust the
+    // chain exists to remove, so the client constructor checks each quote
+    // (platform signature, expected measurement, key binding) and refuses
+    // the chain otherwise.
+    let client = CascadeClient::from_attested_hops(&cascade.descriptors(), &service)?;
     println!(
-        "EPC while buffered: {:.2} MiB (high water {:.2} MiB)",
-        proxy.memory_stats().allocated as f64 / (1024.0 * 1024.0),
-        proxy.memory_stats().high_water as f64 / (1024.0 * 1024.0),
+        "attestation verified for all {} hops: quotes match the published hop code and bind their keys",
+        client.num_hops()
     );
 
-    let mixed = proxy.mix_batch()?;
-    println!(
-        "mixed {} updates; plan row-distinct: {}",
-        mixed.len(),
-        proxy
-            .last_plan()
-            .map(|p| p.is_row_distinct())
-            .unwrap_or(false)
-    );
-
-    let stats = proxy.stats();
-    println!(
-        "per-update costs: decrypt {:.2} ms, store {:.2} ms, mix {:.2} ms (§6.5 breakdown)",
-        stats.mean_decrypt_seconds() * 1000.0,
-        stats.mean_store_seconds() * 1000.0,
-        stats.mean_mix_seconds() * 1000.0,
-    );
-
-    // --- Failure handling ------------------------------------------------
+    // --- Onion sizes on the wire -----------------------------------------
     let update = synthetic_update(&signature, &mut rng);
-    let bytes = codec::encode_params(&update);
-    let mut tampered = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
-    let last = tampered.len() - 1;
-    tampered[last] ^= 1;
-    match proxy.submit_encrypted(&tampered) {
-        Err(e) => println!("tampered ciphertext rejected: {e}"),
-        Ok(_) => unreachable!("tampering must not pass authentication"),
-    }
+    let onion = client.seal_update(&update, &mut rng);
     println!(
-        "rejected so far: {} (accounting survives attacks)",
-        proxy.stats().updates_rejected
+        "update wire size: {} bytes plaintext, {} bytes as a {hops}-hop onion\n\
+         (each hop strips one sealed envelope of {} bytes per layer)",
+        mixnn::proxy::codec::encode_params(&update).len(),
+        onion.len(),
+        mixnn::crypto::sealed_box::OVERHEAD,
     );
 
-    // --- Streaming mode ---------------------------------------------------
-    let mut streaming_proxy = MixnnProxy::launch(
-        MixnnProxyConfig {
-            strategy: MixingStrategy::Streaming { k: 4 },
-            expected_signature: signature.clone(),
-            seed: 100,
-            ..MixnnProxyConfig::default()
-        },
+    // --- A round of onion updates ----------------------------------------
+    let clients = 12;
+    let updates: Vec<ModelParams> = (0..clients)
+        .map(|_| synthetic_update(&signature, &mut rng))
+        .collect();
+    let round = cascade.run_round(&updates, &mut rng)?;
+    println!(
+        "\nround traversed hops {:?}; per-hop costs (§6.5 breakdown):",
+        round.chain
+    );
+    println!("  hop  decrypt ms  store ms  mix ms  high-water MiB");
+    for (hop, stats) in cascade.hop_stats().iter().enumerate() {
+        println!(
+            "  {hop}    {:>8.2}  {:>8.2}  {:>6.2}  {:>14.2}",
+            stats.decrypt_seconds * 1000.0,
+            stats.store_seconds * 1000.0,
+            stats.mix_seconds * 1000.0,
+            cascade.hops()[hop].memory_stats().high_water as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    // --- Utility equivalence and the audit -------------------------------
+    assert_eq!(
+        ModelParams::mean(&updates),
+        ModelParams::mean(&round.mixed),
+        "cascading must not change the aggregate"
+    );
+    assert_eq!(round.audit.unmix(&round.mixed)?, updates);
+    println!(
+        "aggregate bit-identical to classic FL; audit inverted all {} per-hop plans\n\
+         (outside the audit, linking requires ALL hops to collude — see `eval cascade`)",
+        round.audit.plans().len()
+    );
+
+    // --- Failure handling: a tampered onion ------------------------------
+    // A standalone hop shows the envelope authentication: flip one
+    // ciphertext bit and the hop rejects the round without leaking memory.
+    let mut lone_hop = mixnn::cascade::CascadeHop::launch(
+        0,
+        CascadeHopConfig::default(),
+        signature.len(),
         &service,
         &mut rng,
     );
-    let mut emitted = 0;
-    for _ in 0..10 {
-        let update = synthetic_update(&signature, &mut rng);
-        let sealed = SealedBox::seal(
-            &codec::encode_params(&update),
-            streaming_proxy.public_key(),
+    let lone_client = CascadeClient::from_attested_hops(&[lone_hop.descriptor()], &service)?;
+    let mut tampered = lone_client.seal_update(&update, &mut rng);
+    let last = tampered.len() - 1;
+    tampered[last] ^= 1;
+    match lone_hop.mix_round(&[tampered]) {
+        Err(e) => println!("\ntampered onion rejected: {e}"),
+        Ok(_) => unreachable!("tampering must not pass authentication"),
+    }
+    assert_eq!(
+        lone_hop.memory_stats().allocated,
+        0,
+        "failed round must release its EPC charges"
+    );
+
+    // --- Failure handling: skip vs abort ---------------------------------
+    // A fresh cascade whose middle hop has a starved EPC. Under Abort the
+    // round fails closed; under Skip the chain routes around the dead hop
+    // and the round still completes (with 2 surviving hops).
+    for policy in [FailurePolicy::Abort, FailurePolicy::Skip] {
+        let mut hop_configs: Vec<CascadeHopConfig> = (0..hops)
+            .map(|i| CascadeHopConfig {
+                seed: 200 + i as u64,
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        hop_configs[1].enclave = EnclaveConfig {
+            epc_limit: 1024, // far below one round's onion footprint
+            code_identity: mixnn::cascade::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+        let mut degraded = CascadeCoordinator::launch(
+            CascadeConfig {
+                expected_signature: signature.clone(),
+                hops: hop_configs,
+                policy,
+            },
+            Box::new(LinearChain::new(hops)),
+            &service,
             &mut rng,
-        );
-        if streaming_proxy.submit_encrypted(&sealed)?.is_some() {
-            emitted += 1;
+        )?;
+        match degraded.run_round(&updates, &mut rng) {
+            Ok(round) => println!(
+                "policy {policy:?}: round completed on surviving chain {:?} (skipped {:?})",
+                round.chain, round.skipped_this_round
+            ),
+            Err(e) => println!("policy {policy:?}: round failed closed: {e}"),
         }
     }
-    let flushed = streaming_proxy.flush()?;
-    println!(
-        "streaming (k=4): 10 in, {emitted} emitted during streaming, {} at flush",
-        flushed.len()
-    );
     Ok(())
 }

@@ -11,6 +11,7 @@
 //! * [`data`] — synthetic federated datasets with sensitive attributes,
 //! * [`fl`] — the federated-learning substrate (clients, server, rounds),
 //! * [`proxy`] — **the paper's contribution**: the layer-mixing proxy,
+//! * [`cascade`] — multi-hop onion-routed chains of mixing proxies,
 //! * [`attacks`] — the ∇Sim attribute-inference attack,
 //! * [`crypto`] / [`enclave`] — the (simulated) SGX substrate the proxy
 //!   runs in.
@@ -21,6 +22,7 @@
 #![deny(missing_docs)]
 
 pub use mixnn_attacks as attacks;
+pub use mixnn_cascade as cascade;
 pub use mixnn_core as proxy;
 pub use mixnn_crypto as crypto;
 pub use mixnn_data as data;
