@@ -26,7 +26,10 @@
 //! Beyond the paper, [`collusion`] models the adversary the **mix
 //! cascade** (`mixnn-cascade`) is built against: a subset of compromised
 //! hops pooling their plaintext views to link forwarded layers back to
-//! participants.
+//! participants — both for the uniform chain ([`analyze_collusion`]) and
+//! for stratified/free-route layouts whose clients mix in per-route
+//! groups ([`analyze_routed_collusion`], which computes per-client
+//! anonymity sets).
 
 #![deny(missing_docs)]
 
@@ -37,7 +40,10 @@ mod gradsim;
 pub mod metrics;
 pub mod robustness;
 
-pub use collusion::{analyze_collusion, CollusionReport};
+pub use collusion::{
+    analyze_collusion, analyze_routed_collusion, CollusionReport, RouteGroupView,
+    RoutedCollusionReport,
+};
 pub use driver::{AttackMode, InferenceExperiment, InferenceResult};
 pub use error::AttackError;
 pub use gradsim::{AttackSession, GradSim, GradSimConfig, SimilarityMetric};

@@ -14,10 +14,11 @@
 //!   --round <n>                                    evaluation round for fig6 (default 6)
 //!   --radius <f32>                                 neighbour radius for fig9, on unit-normalized
 //!                                                  gradients (default 1.25; see EXPERIMENTS.md)
-//!   --clients <n>                                  clients for sysperf/cascade (default 16)
+//!   --clients <n>                                  clients for sysperf/cascade/topology (default 16)
 //!   --out <path>                                   JSON artifact path override
 //!                                                  (throughput: BENCH_throughput.json,
-//!                                                   cascade: BENCH_cascade.json)
+//!                                                   cascade: BENCH_cascade.json,
+//!                                                   topology: BENCH_topology.json)
 //! ```
 //!
 //! `throughput` sweeps the parallel ingest pipeline over worker counts
@@ -26,10 +27,14 @@
 //! speedups to the JSON artifact. `cascade` sweeps the multi-hop mix
 //! cascade over hop counts 1..4 × every colluding subset of hops,
 //! asserting bit-identical aggregates against the single-proxy baseline.
+//! `topology` compares the three cascade layouts (linear, stratified,
+//! free-route) over hop counts 2..4 × every colluding subset, asserting
+//! the same bit-identical aggregate and recording per-client
+//! anonymity-set distributions.
 
 use mixnn_attacks::AttackMode;
 use mixnn_bench::experiments::{
-    background, cascade, inference, robustness, sysperf, throughput, utility, utility_cdf,
+    background, cascade, inference, robustness, sysperf, throughput, topology, utility, utility_cdf,
 };
 use mixnn_bench::{report, DatasetKind, Defense, ExperimentScale, ExperimentSetup};
 use std::process::ExitCode;
@@ -81,6 +86,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "cascade",
         "Mix cascade: hop count x colluding subsets -> BENCH_cascade.json",
         run_cascade,
+    ),
+    (
+        "topology",
+        "Cascade layouts: linear vs stratified vs free-route -> BENCH_topology.json",
+        run_topology,
     ),
 ];
 
@@ -384,6 +394,52 @@ fn run_cascade(opts: &Options) -> Result<(), String> {
         "\nAsserted at every hop count: the unmixed server aggregate is bit-identical\n\
          to the single-proxy baseline, and the audit restores the original updates\n\
          bit-exactly. Only the all-hops-colluding subsets report linkability 1.00.\n\
+         Results written to {out}."
+    );
+    Ok(())
+}
+
+fn run_topology(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_topology.json");
+    let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, opts.scale, opts.seed);
+    let sweep = topology::run(&setup, opts.scale, opts.clients, &topology::DEFAULT_HOPS)
+        .map_err(|e| e.to_string())?;
+    report::print_table(
+        &format!(
+            "Cascade layouts over hop counts {:?} ({} clients, onion path)",
+            topology::DEFAULT_HOPS,
+            opts.clients
+        ),
+        &[
+            "layout",
+            "hops",
+            "groups",
+            "group sizes",
+            "mean route",
+            "round ms",
+        ],
+        &topology::structure_rows(&sweep),
+    );
+    report::print_table(
+        "Routed colluding-subset adversary: per-client anonymity per layout",
+        &[
+            "layout",
+            "hops",
+            "colluding",
+            "linkable",
+            "linked",
+            "mean set",
+            "distribution",
+        ],
+        &topology::collusion_rows(&sweep),
+    );
+    std::fs::write(out, topology::to_json(&sweep, opts.clients))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "\nAsserted for every layout and hop count: the server aggregate is bit-identical\n\
+         to the single-proxy baseline and the audit inverts every route group exactly.\n\
+         A client is linked iff the colluding subset covers its whole route (or its\n\
+         route is unique); otherwise its anonymity set is its full route group.\n\
          Results written to {out}."
     );
     Ok(())

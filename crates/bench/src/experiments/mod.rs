@@ -6,5 +6,6 @@ pub mod inference;
 pub mod robustness;
 pub mod sysperf;
 pub mod throughput;
+pub mod topology;
 pub mod utility;
 pub mod utility_cdf;

@@ -12,6 +12,12 @@ use rand::Rng;
 /// participant must verify **every** hop's quote — the cascade's whole
 /// point is that no single hop is trusted, so a single unverified hop
 /// would reintroduce the single point of trust the chain removes.
+///
+/// Under stratified and free-route layouts the "chain" is one client's
+/// **route**, not the whole hop set: each participant builds its own
+/// client over the descriptors of the hops its route traverses (see
+/// `CascadeCoordinator::client_for_slot`), and its onion carries exactly
+/// one envelope per route hop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CascadeClient {
     hop_keys: Vec<PublicKey>,

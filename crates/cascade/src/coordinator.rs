@@ -1,19 +1,21 @@
-//! Driving rounds through the chain.
+//! Driving rounds through the chain — or, for stratified and free-route
+//! layouts, through every route group's chain.
 
-use crate::topology::uniform_route;
+use crate::topology::{partition_routes, uniform_route, validate_route, RouteGroup};
 use crate::{
     CascadeClient, CascadeError, CascadeHop, CascadeHopConfig, CascadeTopology, HopDescriptor,
     LinearChain, OnionUpdate,
 };
 use mixnn_core::{shard_seed, MixPlan, ProxyStats};
+use mixnn_crypto::PublicKey;
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
 use rand::Rng;
 
 /// How many client slots [`CascadeCoordinator::client`] probes when
-/// checking that the topology routes everyone identically (the linear
-/// coordinator's standing requirement; `run_round` re-validates against
-/// each round's actual size).
+/// checking that the topology routes everyone identically (that
+/// constructor hands out ONE chain for all participants; per-route
+/// participants use [`CascadeCoordinator::client_for_slot`]).
 const UNIFORMITY_PROBE_SLOTS: usize = 64;
 
 /// What the coordinator does when a hop fails mid-round.
@@ -23,7 +25,7 @@ pub enum FailurePolicy {
     /// degraded chain). The default.
     #[default]
     Abort,
-    /// Mark the hop as down, rebuild the onions for the surviving chain
+    /// Mark the hop as down, rebuild the onions for the surviving routes
     /// and retry the round. The hop stays skipped for subsequent rounds
     /// until [`CascadeCoordinator::reinstate`].
     Skip,
@@ -36,7 +38,7 @@ pub struct CascadeConfig {
     /// the single proxy — cannot infer it from traffic: intermediate hops
     /// only ever see ciphertext blobs.
     pub expected_signature: Vec<usize>,
-    /// One configuration per hop, in chain order.
+    /// One configuration per hop, in hop-index order.
     pub hops: Vec<CascadeHopConfig>,
     /// Skip-or-abort semantics for hop failures.
     pub policy: FailurePolicy,
@@ -47,95 +49,255 @@ pub struct CascadeConfig {
 pub struct CascadeRound {
     /// The mixed updates as the server receives them, in slot order.
     pub mixed: Vec<ModelParams>,
-    /// The per-hop mixing plans, for audits and experiments (never exposed
-    /// in a deployment).
+    /// The per-route-group mixing plans, for audits and experiments (never
+    /// exposed in a deployment).
     pub audit: CascadeAudit,
-    /// Hop indices the round actually traversed, in order.
+    /// Hop indices at least one client actually traversed this round,
+    /// ascending. For a uniform layout this is the whole active chain.
     pub chain: Vec<usize>,
     /// Hops newly skipped while running this round (non-empty only under
     /// [`FailurePolicy::Skip`]).
     pub skipped_this_round: Vec<usize>,
 }
 
-/// The composition of the chain's per-hop [`MixPlan`]s.
-///
-/// Each hop's plan is a per-layer permutation, so their composition is
-/// too — which is exactly why the server-side aggregate is untouched and
-/// why a full-collusion adversary (and only a full-collusion adversary)
-/// can invert the mix. See `mixnn_attacks::collusion` for the adversary's
-/// view; this type is the honest auditor's.
+/// The audit record of one route group: which clients took the route,
+/// which hops they traversed, and the plan each hop drew for the group.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CascadeAudit {
+pub struct RouteGroupAudit {
+    slots: Vec<usize>,
+    route: Vec<usize>,
     plans: Vec<MixPlan>,
 }
 
+impl RouteGroupAudit {
+    /// Builds one group's audit record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group or its route is empty, `plans` does not line up
+    /// with `route` one-to-one, or any plan's dimensions disagree with the
+    /// group size — such a record cannot have come from one driven group,
+    /// so composing it is a construction bug, not a runtime condition.
+    pub fn new(slots: Vec<usize>, route: Vec<usize>, plans: Vec<MixPlan>) -> Self {
+        assert!(!slots.is_empty(), "a route group has at least one client");
+        assert!(
+            !route.is_empty(),
+            "a route group traverses at least one hop"
+        );
+        assert_eq!(
+            plans.len(),
+            route.len(),
+            "one plan per traversed hop, in route order"
+        );
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(
+                plan.participants(),
+                slots.len(),
+                "plan {i} disagrees with the group size"
+            );
+            if i > 0 {
+                assert_eq!(
+                    plan.layers(),
+                    plans[0].layers(),
+                    "plan {i} disagrees with plan 0 on layers"
+                );
+            }
+        }
+        RouteGroupAudit {
+            slots,
+            route,
+            plans,
+        }
+    }
+
+    /// The group's client slots, in group-local order (ascending).
+    pub fn slots(&self) -> &[usize] {
+        &self.slots
+    }
+
+    /// The hop indices the group traversed, in order.
+    pub fn route(&self) -> &[usize] {
+        &self.route
+    }
+
+    /// The per-hop plans the route drew for this group, in route order.
+    pub fn plans(&self) -> &[MixPlan] {
+        &self.plans
+    }
+
+    /// Number of clients in the group — the ceiling of any member's
+    /// anonymity set.
+    pub fn members(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// The composition of every route group's per-hop [`MixPlan`]s.
+///
+/// Each hop's plan is a per-layer permutation over its group, so the whole
+/// round's assignment is a disjoint union of per-group permutations —
+/// which is exactly why the server-side aggregate is untouched and why an
+/// adversary must cover a client's **entire route** to invert its mix. See
+/// `mixnn_attacks::collusion` for the adversary's view; this type is the
+/// honest auditor's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeAudit {
+    clients: usize,
+    groups: Vec<RouteGroupAudit>,
+}
+
 impl CascadeAudit {
-    /// Builds an audit from plans in chain order (first applied first).
+    /// Builds an audit for a **uniform** round (every client took the same
+    /// chain) from plans in chain order (first applied first). The slots
+    /// are `0..participants` and the recorded route is `0..plans.len()`.
+    ///
+    /// An empty plan list yields the identity audit (`unmix` returns its
+    /// input unchanged).
     ///
     /// # Panics
     ///
     /// Panics if the plans disagree on participants or layers — such a
     /// sequence cannot have come from one round, so composing it is a
-    /// construction bug, not a runtime condition. (This is what keeps
-    /// [`CascadeAudit::composed_source`]'s index arithmetic total.)
+    /// construction bug, not a runtime condition.
     pub fn new(plans: Vec<MixPlan>) -> Self {
-        if let Some(first) = plans.first() {
-            for (i, plan) in plans.iter().enumerate() {
-                assert_eq!(
-                    (plan.participants(), plan.layers()),
-                    (first.participants(), first.layers()),
-                    "plan {i} disagrees with plan 0 on round dimensions"
+        let Some(first) = plans.first() else {
+            return CascadeAudit {
+                clients: 0,
+                groups: Vec::new(),
+            };
+        };
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(
+                (plan.participants(), plan.layers()),
+                (first.participants(), first.layers()),
+                "plan {i} disagrees with plan 0 on round dimensions"
+            );
+        }
+        let clients = first.participants();
+        let group = RouteGroupAudit::new((0..clients).collect(), (0..plans.len()).collect(), plans);
+        CascadeAudit {
+            clients,
+            groups: vec![group],
+        }
+    }
+
+    /// Builds an audit from per-route-group records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups' slots do not partition `0..clients` or the
+    /// groups disagree on the layer count — a round cannot have produced
+    /// such a record.
+    pub fn from_groups(clients: usize, groups: Vec<RouteGroupAudit>) -> Self {
+        let mut seen = vec![false; clients];
+        for group in &groups {
+            for &slot in &group.slots {
+                assert!(
+                    slot < clients && !seen[slot],
+                    "groups must partition 0..{clients} (slot {slot} misplaced)"
+                );
+                seen[slot] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "groups must partition 0..{clients} (some slot uncovered)"
+        );
+        if let Some(layers) = groups
+            .first()
+            .and_then(|g| g.plans.first())
+            .map(MixPlan::layers)
+        {
+            for group in &groups {
+                assert!(
+                    group.plans.iter().all(|p| p.layers() == layers),
+                    "groups disagree on the layer count"
                 );
             }
         }
-        CascadeAudit { plans }
+        CascadeAudit { clients, groups }
     }
 
-    /// The per-hop plans in chain order.
+    /// The per-route-group audit records, ordered by route.
+    pub fn groups(&self) -> &[RouteGroupAudit] {
+        &self.groups
+    }
+
+    /// Clients covered by the audit.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// The per-hop plans of a **uniform** round (a single route group, as
+    /// every [`LinearChain`] round produces), in chain order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the round split into more than one route group — a
+    /// flat plan list cannot describe those; use
+    /// [`CascadeAudit::groups`].
     pub fn plans(&self) -> &[MixPlan] {
-        &self.plans
+        match self.groups.as_slice() {
+            [] => &[],
+            [only] => only.plans(),
+            _ => panic!(
+                "round split into {} route groups; use CascadeAudit::groups()",
+                self.groups.len()
+            ),
+        }
     }
 
     /// The original client slot whose layer `layer` ended up in final
-    /// output `output`, traced back through every hop.
+    /// output `output`, traced back through every hop of the output's
+    /// route group.
     pub fn composed_source(&self, layer: usize, output: usize) -> Option<usize> {
-        let mut idx = output;
-        for plan in self.plans.iter().rev() {
+        if self.groups.is_empty() {
+            return Some(output); // the identity audit
+        }
+        let group = self.groups.iter().find(|g| g.slots.contains(&output))?;
+        let mut idx = group.slots.iter().position(|&s| s == output)?;
+        for plan in group.plans.iter().rev() {
             idx = plan.source(layer, idx)?;
         }
-        Some(idx)
+        group.slots.get(idx).copied()
     }
 
     /// Inverts the whole cascade: reassembles each client's original
-    /// update from the mixed outputs. Restores both the client order and
-    /// the exact layer bits — the correctness check behind the utility
-    /// equivalence claim.
+    /// update from the mixed outputs, group by group. Restores both the
+    /// client order and the exact layer bits — the correctness check
+    /// behind the utility equivalence claim.
     ///
     /// # Errors
     ///
     /// Returns [`CascadeError::Audit`] when `mixed` does not match the
-    /// plans' dimensions.
+    /// recorded dimensions.
     pub fn unmix(&self, mixed: &[ModelParams]) -> Result<Vec<ModelParams>, CascadeError> {
-        let Some(first) = self.plans.first() else {
+        if self.groups.is_empty() {
             return Ok(mixed.to_vec()); // no hops: the identity cascade
-        };
-        let c = first.participants();
-        let layers = first.layers();
-        if mixed.len() != c || mixed.iter().any(|m| m.num_layers() != layers) {
+        }
+        let layers = self.groups[0].plans.first().map_or(0, MixPlan::layers);
+        if mixed.len() != self.clients || mixed.iter().any(|m| m.num_layers() != layers) {
             return Err(CascadeError::Audit {
                 reason: format!(
-                    "plans cover {c} updates of {layers} layers, got {} updates",
+                    "audit covers {} updates of {layers} layers, got {} updates",
+                    self.clients,
                     mixed.len()
                 ),
             });
         }
-        let mut slots: Vec<Vec<Option<LayerParams>>> = vec![vec![None; layers]; c];
-        for (i, m) in mixed.iter().enumerate() {
-            for (l, layer) in m.iter().enumerate() {
-                let src = self
-                    .composed_source(l, i)
-                    .expect("dimensions checked above");
-                slots[src][l] = Some(layer.clone());
+        // Walk group-wise rather than via `composed_source` per cell: the
+        // latter re-locates the output's group by linear scan on every
+        // call, which would make this O(clients² · layers).
+        let mut slots: Vec<Vec<Option<LayerParams>>> = vec![vec![None; layers]; self.clients];
+        for group in &self.groups {
+            for (local_out, &out) in group.slots.iter().enumerate() {
+                for (l, layer) in mixed[out].iter().enumerate() {
+                    let mut idx = local_out;
+                    for plan in group.plans.iter().rev() {
+                        idx = plan.source(l, idx).expect("dimensions checked above");
+                    }
+                    slots[group.slots[idx]][l] = Some(layer.clone());
+                }
             }
         }
         Ok(slots
@@ -143,7 +305,7 @@ impl CascadeAudit {
             .map(|row| {
                 ModelParams::from_layers(
                     row.into_iter()
-                        .map(|slot| slot.expect("composed permutation covers every cell"))
+                        .map(|slot| slot.expect("group permutations cover every cell"))
                         .collect(),
                 )
             })
@@ -151,9 +313,10 @@ impl CascadeAudit {
     }
 }
 
-/// Owns the chain and drives rounds end-to-end: seals the round's onions,
-/// feeds them hop to hop, decodes the last hop's plaintext output, and
-/// applies the configured failure semantics.
+/// Owns the hops and drives rounds end-to-end: partitions the round into
+/// route groups, seals each group's onions, feeds them hop to hop, decodes
+/// the last hops' plaintext outputs, and applies the configured failure
+/// semantics.
 ///
 /// # Example
 ///
@@ -179,6 +342,38 @@ impl CascadeAudit {
 /// assert_eq!(ModelParams::mean(&updates), ModelParams::mean(&round.mixed));
 /// // …and the audit can invert the whole chain.
 /// assert_eq!(round.audit.unmix(&round.mixed)?, updates);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The same pipeline drives non-uniform layouts — each route group mixes
+/// separately:
+///
+/// ```
+/// use mixnn_cascade::{CascadeCoordinator, FailurePolicy, StratifiedLayout};
+/// use mixnn_enclave::AttestationService;
+/// use mixnn_nn::{LayerParams, ModelParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mixnn_cascade::CascadeError> {
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let service = AttestationService::new(&mut rng);
+/// let layout = StratifiedLayout::evenly(4, 2, 99);
+/// let mut cascade = CascadeCoordinator::with_topology(
+///     vec![2],
+///     Box::new(layout),
+///     7,
+///     FailurePolicy::Abort,
+///     &service,
+///     &mut rng,
+/// )?;
+/// let updates: Vec<ModelParams> = (0..8)
+///     .map(|i| ModelParams::from_layers(vec![LayerParams::from_values(vec![i as f32; 2])]))
+///     .collect();
+/// let round = cascade.run_round(&updates, &mut rng)?;
+/// assert_eq!(ModelParams::mean(&updates), ModelParams::mean(&round.mixed));
+/// assert_eq!(round.audit.unmix(&round.mixed)?, updates);
+/// assert!(round.audit.groups().len() >= 1, "stratified rounds split into route groups");
 /// # Ok(())
 /// # }
 /// ```
@@ -277,9 +472,48 @@ impl CascadeCoordinator {
         )
     }
 
-    /// The hops, in chain order (skipped ones included).
+    /// Convenience constructor for an arbitrary layout: launches
+    /// `topology.num_hops()` hops with per-hop seeds derived from
+    /// `base_seed` via [`shard_seed`], exactly like
+    /// [`CascadeCoordinator::linear`] does for chains.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CascadeCoordinator::launch`].
+    pub fn with_topology<R: Rng + ?Sized>(
+        expected_signature: Vec<usize>,
+        topology: Box<dyn CascadeTopology>,
+        base_seed: u64,
+        policy: FailurePolicy,
+        attestation: &AttestationService,
+        rng: &mut R,
+    ) -> Result<Self, CascadeError> {
+        let hops = (0..topology.num_hops())
+            .map(|i| CascadeHopConfig {
+                seed: shard_seed(base_seed, i),
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        Self::launch(
+            CascadeConfig {
+                expected_signature,
+                hops,
+                policy,
+            },
+            topology,
+            attestation,
+            rng,
+        )
+    }
+
+    /// The hops, in hop-index order (skipped ones included).
     pub fn hops(&self) -> &[CascadeHop] {
         &self.hops
+    }
+
+    /// The layout routing this cascade's clients.
+    pub fn topology(&self) -> &dyn CascadeTopology {
+        self.topology.as_ref()
     }
 
     /// The configured failure policy.
@@ -305,50 +539,75 @@ impl CascadeCoordinator {
         }
     }
 
-    /// Per-hop cost statistics, in chain order.
+    /// Per-hop cost statistics, in hop-index order.
     ///
-    /// Stats count the work each hop actually performed. Under
-    /// [`FailurePolicy::Skip`] that includes aborted attempts: hops
-    /// *earlier* than a failing hop processed the round once before the
-    /// retry, so after a skip their counters reflect both the wasted
-    /// attempt and the successful one (just like a real server's request
-    /// counters across client retries). Divide by attempts — one plus the
-    /// round's `skipped_this_round.len()` — when a per-logical-round cost
-    /// is needed.
+    /// Stats count the work each hop actually performed. A hop off every
+    /// route mixes nothing and its counters stay zero; a hop shared by
+    /// several route groups is charged once per group (each group is its
+    /// own partial round). Under [`FailurePolicy::Skip`] the counters also
+    /// include aborted attempts: hops that processed their groups before
+    /// another hop failed ran the round once before the retry, so after a
+    /// skip their counters reflect both the wasted attempt and the
+    /// successful one (just like a real server's request counters across
+    /// client retries).
     pub fn hop_stats(&self) -> Vec<ProxyStats> {
         self.hops.iter().map(CascadeHop::stats).collect()
     }
 
-    /// Attestation descriptors of the full chain, in chain order — what an
+    /// Attestation descriptors of every hop, in hop-index order — what an
     /// operator publishes for participants.
     pub fn descriptors(&self) -> Vec<HopDescriptor> {
         self.hops.iter().map(CascadeHop::descriptor).collect()
     }
 
     /// Builds a **verified** participant-side client over the currently
-    /// active chain: every hop's quote is checked against `attestation`
-    /// before its key is used.
+    /// active chain shared by every slot: every hop's quote is checked
+    /// against `attestation` before its key is used. Only meaningful for
+    /// uniform layouts — a stratified or free-route participant seals to
+    /// its own route and must use
+    /// [`CascadeCoordinator::client_for_slot`].
     ///
     /// # Errors
     ///
     /// Returns [`CascadeError::Attestation`] (with the hop's position in
-    /// the active chain) when verification fails, or
-    /// [`CascadeError::NoActiveHops`] / [`CascadeError::Topology`] when no
-    /// routable chain exists.
+    /// the active chain) when verification fails,
+    /// [`CascadeError::Topology`] when the layout routes clients
+    /// differently, and [`CascadeError::NoActiveHops`] when no routable
+    /// chain exists.
     pub fn client(&self, attestation: &AttestationService) -> Result<CascadeClient, CascadeError> {
         // Probe topology uniformity over a window of slots rather than a
         // single one, so a non-uniform layout is rejected here — where the
-        // participant would otherwise build onions for a chain `run_round`
-        // (which re-validates against the actual round size) will never
-        // drive.
+        // participant would otherwise build onions for a chain no round
+        // will drive for most slots.
         let chain = self.active_chain(UNIFORMITY_PROBE_SLOTS)?;
         let descriptors: Vec<HopDescriptor> =
             chain.iter().map(|&h| self.hops[h].descriptor()).collect();
         CascadeClient::from_attested_hops(&descriptors, attestation)
     }
 
-    /// The active route: the topology's uniform route with skipped hops
-    /// removed.
+    /// Builds a **verified** participant-side client for one slot's route
+    /// under the current topology and skip state — the per-route analogue
+    /// of [`CascadeCoordinator::client`], usable with any layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Topology`] for an undrivable route,
+    /// [`CascadeError::NoActiveHops`] when skipping emptied the route, and
+    /// [`CascadeError::Attestation`] when a hop on the route fails
+    /// verification.
+    pub fn client_for_slot(
+        &self,
+        slot: usize,
+        attestation: &AttestationService,
+    ) -> Result<CascadeClient, CascadeError> {
+        let route = self.active_route(slot)?;
+        let descriptors: Vec<HopDescriptor> =
+            route.iter().map(|&h| self.hops[h].descriptor()).collect();
+        CascadeClient::from_attested_hops(&descriptors, attestation)
+    }
+
+    /// The uniform active route: the topology's shared route with skipped
+    /// hops removed. Fails for non-uniform layouts.
     fn active_chain(&self, clients: usize) -> Result<Vec<usize>, CascadeError> {
         let route = uniform_route(self.topology.as_ref(), clients.max(1))?;
         let chain: Vec<usize> = route.into_iter().filter(|&h| !self.skipped[h]).collect();
@@ -358,23 +617,47 @@ impl CascadeCoordinator {
         Ok(chain)
     }
 
-    /// Drives one round end-to-end: onion-encrypt every update for the
-    /// active chain (drawing sealing entropy from `rng`), pass the batch
-    /// hop to hop, decode the final plaintext updates.
+    /// One slot's route with skipped hops removed.
+    fn active_route(&self, slot: usize) -> Result<Vec<usize>, CascadeError> {
+        let route = self.topology.route(slot);
+        validate_route(&route, self.hops.len())?;
+        let active: Vec<usize> = route.into_iter().filter(|&h| !self.skipped[h]).collect();
+        if active.is_empty() {
+            return Err(CascadeError::NoActiveHops);
+        }
+        Ok(active)
+    }
+
+    /// Partitions the round's slots into route groups over the **active**
+    /// routes (skipped hops removed). Two groups whose routes collapse to
+    /// the same surviving sequence merge — their clients mix together.
+    fn active_groups(&self, clients: usize) -> Result<Vec<RouteGroup>, CascadeError> {
+        partition_routes(clients, |slot| self.active_route(slot))
+    }
+
+    /// Drives one round end-to-end: partition the slots into route groups,
+    /// onion-encrypt every group's updates for its route (drawing sealing
+    /// entropy from `rng`, group by group in route order), pass each
+    /// group's batch hop to hop — every hop mixes **only the partial round
+    /// that traversed it** — and decode the final plaintext updates back
+    /// into slot order.
     ///
     /// Under [`FailurePolicy::Skip`], a failing hop is marked down and the
-    /// round restarts on the surviving chain — the onions are rebuilt,
-    /// because each envelope is bound to a specific hop key. Hops earlier
-    /// in the chain re-run on the rebuilt batch (with fresh plans and
-    /// sealing entropy), and their [`CascadeCoordinator::hop_stats`] keep
-    /// the aborted attempt's work. Under [`FailurePolicy::Abort`] the
-    /// first hop failure fails the round.
+    /// round restarts on the surviving routes — groups are re-partitioned
+    /// (routes that collapse to the same surviving sequence merge) and the
+    /// onions rebuilt, because each envelope is bound to a specific hop
+    /// key. Hops that already processed groups re-run on the rebuilt
+    /// batches (with fresh plans and sealing entropy), and their
+    /// [`CascadeCoordinator::hop_stats`] keep the aborted attempt's work.
+    /// Under [`FailurePolicy::Abort`] the first hop failure fails the
+    /// round.
     ///
     /// # Errors
     ///
     /// Returns [`CascadeError::EmptyRound`] /
     /// [`CascadeError::SignatureMismatch`] for bad input,
-    /// [`CascadeError::NoActiveHops`] when skipping exhausts the chain, and
+    /// [`CascadeError::Topology`] for an undrivable route,
+    /// [`CascadeError::NoActiveHops`] when skipping exhausts a route, and
     /// the failing hop's error under abort semantics.
     pub fn run_round<R: Rng + ?Sized>(
         &mut self,
@@ -394,48 +677,63 @@ impl CascadeCoordinator {
         }
 
         let mut skipped_this_round = Vec::new();
-        loop {
-            let chain = self.active_chain(updates.len())?;
-            let keys = chain.iter().map(|&h| *self.hops[h].public_key()).collect();
-            let client = CascadeClient::from_keys(keys);
-            let mut batch: Vec<Vec<u8>> =
-                updates.iter().map(|u| client.seal_update(u, rng)).collect();
+        'retry: loop {
+            let groups = self.active_groups(updates.len())?;
+            let mut mixed: Vec<Option<ModelParams>> = vec![None; updates.len()];
+            let mut group_audits = Vec::with_capacity(groups.len());
+            let mut chain: Vec<usize> = Vec::new();
+            for group in &groups {
+                let keys: Vec<PublicKey> = group
+                    .route
+                    .iter()
+                    .map(|&h| *self.hops[h].public_key())
+                    .collect();
+                let client = CascadeClient::from_keys(keys);
+                let mut batch: Vec<Vec<u8>> = group
+                    .slots
+                    .iter()
+                    .map(|&s| client.seal_update(&updates[s], rng))
+                    .collect();
 
-            let mut plans = Vec::with_capacity(chain.len());
-            let mut failure: Option<(usize, CascadeError)> = None;
-            for &h in &chain {
-                match self.hops[h].mix_round(&batch) {
-                    Ok((out, plan)) => {
-                        batch = out;
-                        plans.push(plan);
-                    }
-                    Err(e) => {
-                        failure = Some((h, e));
-                        break;
+                let mut plans = Vec::with_capacity(group.route.len());
+                for &h in &group.route {
+                    match self.hops[h].mix_round(&batch) {
+                        Ok((out, plan)) => {
+                            batch = out;
+                            plans.push(plan);
+                        }
+                        Err(e) => match self.policy {
+                            FailurePolicy::Abort => return Err(e),
+                            FailurePolicy::Skip => {
+                                self.skipped[h] = true;
+                                skipped_this_round.push(h);
+                                continue 'retry;
+                            }
+                        },
                     }
                 }
-            }
-            match failure {
-                None => {
-                    let mut mixed = Vec::with_capacity(batch.len());
-                    for wire in &batch {
-                        mixed.push(OnionUpdate::decode(wire)?.into_params(&self.signature)?);
-                    }
-                    return Ok(CascadeRound {
-                        mixed,
-                        audit: CascadeAudit::new(plans),
-                        chain,
-                        skipped_this_round,
-                    });
+                for (local, wire) in batch.iter().enumerate() {
+                    mixed[group.slots[local]] =
+                        Some(OnionUpdate::decode(wire)?.into_params(&self.signature)?);
                 }
-                Some((hop, e)) => match self.policy {
-                    FailurePolicy::Abort => return Err(e),
-                    FailurePolicy::Skip => {
-                        self.skipped[hop] = true;
-                        skipped_this_round.push(hop);
-                    }
-                },
+                chain.extend(&group.route);
+                group_audits.push(RouteGroupAudit::new(
+                    group.slots.clone(),
+                    group.route.clone(),
+                    plans,
+                ));
             }
+            chain.sort_unstable();
+            chain.dedup();
+            return Ok(CascadeRound {
+                mixed: mixed
+                    .into_iter()
+                    .map(|m| m.expect("groups partition the round"))
+                    .collect(),
+                audit: CascadeAudit::from_groups(updates.len(), group_audits),
+                chain,
+                skipped_this_round,
+            });
         }
     }
 }
@@ -443,6 +741,7 @@ impl CascadeCoordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{FreeRoute, StratifiedLayout};
     use mixnn_enclave::EnclaveConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -467,6 +766,25 @@ mod tests {
         let cascade =
             CascadeCoordinator::linear(vec![3, 2], hop_count, 9, policy, &service, &mut rng)
                 .unwrap();
+        (cascade, service, rng)
+    }
+
+    fn launch_with(
+        topology: Box<dyn CascadeTopology>,
+        policy: FailurePolicy,
+        seed: u64,
+    ) -> (CascadeCoordinator, AttestationService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng);
+        let cascade = CascadeCoordinator::with_topology(
+            vec![3, 2],
+            topology,
+            seed,
+            policy,
+            &service,
+            &mut rng,
+        )
+        .unwrap();
         (cascade, service, rng)
     }
 
@@ -513,6 +831,98 @@ mod tests {
     }
 
     #[test]
+    fn stratified_round_mixes_per_group_and_stays_bit_exact() {
+        let (mut cascade, _, mut rng) = launch_with(
+            Box::new(StratifiedLayout::evenly(4, 2, 77)),
+            FailurePolicy::Abort,
+            33,
+        );
+        let ins = updates(12);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(
+            ModelParams::mean(&ins),
+            ModelParams::mean(&round.mixed),
+            "stratified mixing must not move the aggregate"
+        );
+        assert_eq!(round.audit.unmix(&round.mixed).unwrap(), ins);
+
+        // Every group's route is one hop per stratum, and mixing stays
+        // inside groups: each output's source shares its route.
+        for group in round.audit.groups() {
+            assert_eq!(group.route().len(), 2);
+            assert!(group.route()[0] < 2 && group.route()[1] >= 2);
+            assert_eq!(group.plans().len(), 2);
+            for l in 0..2 {
+                for &out in group.slots() {
+                    let src = round.audit.composed_source(l, out).unwrap();
+                    assert!(
+                        group.slots().contains(&src),
+                        "layer {l} output {out} drew from outside its route group"
+                    );
+                }
+            }
+        }
+        let covered: usize = round.audit.groups().iter().map(|g| g.members()).sum();
+        assert_eq!(covered, 12);
+    }
+
+    #[test]
+    fn free_route_round_supports_single_hop_routes_and_unused_hops() {
+        #[derive(Debug)]
+        struct Fixed;
+        impl CascadeTopology for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn num_hops(&self) -> usize {
+                3
+            }
+            fn route(&self, slot: usize) -> Vec<usize> {
+                // Nobody routes through hop 1; slot 0 takes a single hop.
+                if slot == 0 {
+                    vec![0]
+                } else {
+                    vec![0, 2]
+                }
+            }
+        }
+        let (mut cascade, _, mut rng) = launch_with(Box::new(Fixed), FailurePolicy::Abort, 35);
+        let ins = updates(5);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&round.mixed));
+        assert_eq!(round.audit.unmix(&round.mixed).unwrap(), ins);
+        assert_eq!(round.chain, vec![0, 2], "hop 1 is off every route");
+        let stats = cascade.hop_stats();
+        assert_eq!(stats[1].updates_received, 0, "unused hop does no work");
+        // Hop 0 serves both groups: 1 + 4 updates across two partial rounds.
+        assert_eq!(stats[0].updates_received, 5);
+        assert_eq!(stats[2].updates_received, 4);
+        // The single-hop client mixes with nobody: its group is {0}.
+        let lone = round
+            .audit
+            .groups()
+            .iter()
+            .find(|g| g.route() == [0])
+            .expect("slot 0's group");
+        assert_eq!(lone.slots(), [0]);
+        assert_eq!(round.audit.composed_source(0, 0), Some(0));
+    }
+
+    #[test]
+    fn free_route_layout_round_trips_end_to_end() {
+        let (mut cascade, _, mut rng) = launch_with(
+            Box::new(FreeRoute::new(4, 1, 4, 55)),
+            FailurePolicy::Abort,
+            36,
+        );
+        let ins = updates(10);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&round.mixed));
+        assert_eq!(round.audit.unmix(&round.mixed).unwrap(), ins);
+        assert!(round.audit.groups().len() > 1, "free routes should split");
+    }
+
+    #[test]
     fn verified_client_round_trips_through_the_chain() {
         let (cascade, service, _) = launch(3, FailurePolicy::Abort);
         let client = cascade.client(&service).unwrap();
@@ -520,6 +930,30 @@ mod tests {
         let foreign = AttestationService::new(&mut StdRng::seed_from_u64(99));
         assert!(matches!(
             cascade.client(&foreign),
+            Err(CascadeError::Attestation { .. })
+        ));
+    }
+
+    #[test]
+    fn per_slot_clients_follow_their_routes() {
+        let (cascade, service, _) = launch_with(
+            Box::new(StratifiedLayout::evenly(4, 2, 21)),
+            FailurePolicy::Abort,
+            37,
+        );
+        // The shared-chain constructor refuses a non-uniform layout…
+        assert!(matches!(
+            cascade.client(&service),
+            Err(CascadeError::Topology { .. })
+        ));
+        // …but every slot gets a verified client over its own route.
+        for slot in 0..8 {
+            let client = cascade.client_for_slot(slot, &service).unwrap();
+            assert_eq!(client.num_hops(), 2, "one hop per stratum");
+        }
+        let foreign = AttestationService::new(&mut StdRng::seed_from_u64(98));
+        assert!(matches!(
+            cascade.client_for_slot(0, &foreign),
             Err(CascadeError::Attestation { .. })
         ));
     }
@@ -601,6 +1035,65 @@ mod tests {
         assert!(cascade.skipped_hops().is_empty());
         let round3 = cascade.run_round(&ins, &mut rng).unwrap();
         assert_eq!(round3.skipped_this_round, vec![1]);
+    }
+
+    #[test]
+    fn skip_at_a_partially_used_hop_reroutes_only_its_groups() {
+        // Slots split over hop 1 and hop 2 after a shared hop 0; hop 2 is
+        // starved, so only the group routed through it loses a hop. After
+        // the skip, that group's route collapses to [0] while the other
+        // still traverses [0, 1].
+        #[derive(Debug)]
+        struct Split;
+        impl CascadeTopology for Split {
+            fn name(&self) -> &str {
+                "split"
+            }
+            fn num_hops(&self) -> usize {
+                3
+            }
+            fn route(&self, slot: usize) -> Vec<usize> {
+                if slot.is_multiple_of(2) {
+                    vec![0, 1]
+                } else {
+                    vec![0, 2]
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(44);
+        let service = AttestationService::new(&mut rng);
+        let mut hops: Vec<CascadeHopConfig> = (0..3)
+            .map(|i| CascadeHopConfig {
+                seed: 70 + i as u64,
+                ..CascadeHopConfig::default()
+            })
+            .collect();
+        hops[2].enclave = EnclaveConfig {
+            epc_limit: 32, // cannot hold even its partial round
+            code_identity: crate::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+        let mut cascade = CascadeCoordinator::launch(
+            CascadeConfig {
+                expected_signature: vec![3, 2],
+                hops,
+                policy: FailurePolicy::Skip,
+            },
+            Box::new(Split),
+            &service,
+            &mut rng,
+        )
+        .unwrap();
+        let ins = updates(6);
+        let round = cascade.run_round(&ins, &mut rng).unwrap();
+        assert_eq!(round.skipped_this_round, vec![2]);
+        assert_eq!(cascade.skipped_hops(), vec![2]);
+        assert_eq!(round.chain, vec![0, 1]);
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&round.mixed));
+        assert_eq!(round.audit.unmix(&round.mixed).unwrap(), ins);
+        let routes: Vec<&[usize]> = round.audit.groups().iter().map(|g| g.route()).collect();
+        assert_eq!(routes, vec![&[0][..], &[0, 1][..]]);
+        assert_eq!(cascade.hops()[2].memory_stats().allocated, 0);
     }
 
     #[test]
@@ -697,12 +1190,59 @@ mod tests {
     }
 
     #[test]
+    fn malformed_topology_routes_fail_the_round() {
+        #[derive(Debug)]
+        struct OutOfRange;
+        impl CascadeTopology for OutOfRange {
+            fn name(&self) -> &str {
+                "out-of-range"
+            }
+            fn num_hops(&self) -> usize {
+                2
+            }
+            fn route(&self, _slot: usize) -> Vec<usize> {
+                vec![0, 5]
+            }
+        }
+        let (mut cascade, _, mut rng) = launch_with(Box::new(OutOfRange), FailurePolicy::Abort, 45);
+        assert!(matches!(
+            cascade.run_round(&updates(3), &mut rng).unwrap_err(),
+            CascadeError::Topology { .. }
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "disagrees with plan 0")]
     fn audit_rejects_inconsistent_plans_at_construction() {
         let mut rng = StdRng::seed_from_u64(50);
         let a = MixPlan::latin(5, 2, &mut rng).unwrap();
         let b = MixPlan::latin(4, 2, &mut rng).unwrap();
         let _ = CascadeAudit::new(vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "route groups")]
+    fn flat_plans_accessor_rejects_multi_group_audits() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = MixPlan::latin(2, 1, &mut rng).unwrap();
+        let b = MixPlan::latin(3, 1, &mut rng).unwrap();
+        let audit = CascadeAudit::from_groups(
+            5,
+            vec![
+                RouteGroupAudit::new(vec![0, 1], vec![0], vec![a]),
+                RouteGroupAudit::new(vec![2, 3, 4], vec![1], vec![b]),
+            ],
+        );
+        let _ = audit.plans();
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn grouped_audit_rejects_non_partitions() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = MixPlan::latin(2, 1, &mut rng).unwrap();
+        let _ =
+            CascadeAudit::from_groups(4, vec![RouteGroupAudit::new(vec![0, 1], vec![0], vec![a])]);
     }
 
     #[test]

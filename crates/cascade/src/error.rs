@@ -37,8 +37,11 @@ pub enum CascadeError {
         /// Signature observed.
         actual: Vec<usize>,
     },
-    /// The topology produced routes the coordinator cannot drive (e.g.
-    /// per-client routes that differ, which needs free-route mixing).
+    /// The topology produced a route the coordinator cannot drive: an
+    /// empty route, a hop index out of range, a hop visited twice — or,
+    /// for callers that require one chain shared by every client (such as
+    /// `CascadeCoordinator::client`), a layout that routes clients
+    /// differently.
     Topology {
         /// Human-readable constraint violation.
         reason: String,

@@ -4,9 +4,16 @@
 //! an enclave-resident, attested service. The difference is what it mixes —
 //! an intermediate hop never sees plaintext parameters, only the next
 //! envelope of each onion layer, so it shuffles **opaque blobs** with a
-//! fresh [`MixPlan`] per round and forwards re-framed ciphertext. The EPC
+//! fresh [`MixPlan`] per batch and forwards re-framed ciphertext. The EPC
 //! budget, attestation story and §6.5-style [`ProxyStats`] accounting are
 //! the same machinery the single-proxy pipeline uses.
+//!
+//! Under stratified and free-route layouts a hop mixes **partial rounds**:
+//! the coordinator hands it one [`CascadeHop::mix_round`] call per route
+//! group that traverses it, each carrying only that group's (client,
+//! layer) envelopes. A hop on no route receives no calls at all. Nothing
+//! in the hop changes for this — a batch is a batch — which is the point:
+//! partial-round mixing is purely a routing decision.
 
 use crate::{CascadeError, OnionUpdate};
 use mixnn_core::{MixPlan, ProxyError, ProxyStats};

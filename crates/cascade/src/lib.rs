@@ -34,16 +34,43 @@
 //! FedAvg aggregation is bit-for-bit identical — [`CascadeAudit::unmix`]
 //! inverts the whole chain as a checkable witness.
 //!
+//! # Route groups: stratified and free-route layouts
+//!
+//! Clients need not all take the same chain. A [`CascadeTopology`] assigns
+//! every client slot a route, and the coordinator partitions each round
+//! into **route groups** — clients sharing one exact route — driving each
+//! group through its hops as a *partial round*: a hop mixes only the
+//! (client, layer) envelopes that actually traversed it, and a hop off
+//! every route mixes nothing. Three layouts ship:
+//!
+//! * [`LinearChain`] — the classic cascade: one group of all `C` clients,
+//!   `n` hops of latency, anonymity set `C` against any proper-subset
+//!   adversary;
+//! * [`StratifiedLayout`] — one seeded hop per stratum: latency = strata,
+//!   anonymity set = the clients that drew the same hop in every stratum;
+//! * [`FreeRoute`] — per-client seeded hop subsets: the shortest routes
+//!   and the smallest groups (a unique route mixes with nobody).
+//!
+//! Because each onion envelope is sealed to a specific hop key, blobs can
+//! never cross between groups whose remaining routes differ — a client's
+//! anonymity set is therefore **bounded by its route group**, and a
+//! colluding hop subset links exactly the clients whose whole route it
+//! covers (`mixnn_attacks::collusion::analyze_routed_collusion` computes
+//! the per-client sets; `eval topology` sweeps all three layouts). See
+//! `docs/ARCHITECTURE.md` for the full threat model.
+//!
 //! # Crate layout
 //!
-//! * [`CascadeTopology`] / [`LinearChain`] — which hops a client's onion
-//!   traverses (stratified/free-route layouts fit behind the same trait);
+//! * [`CascadeTopology`] / [`LinearChain`] / [`StratifiedLayout`] /
+//!   [`FreeRoute`] — which hops a client's onion traverses, and
+//!   [`route_groups`] to partition a round;
 //! * [`OnionUpdate`] — the per-layer onion wire format;
 //! * [`CascadeHop`] — one enclave-resident proxy: attested, EPC-budgeted,
 //!   `ProxyStats`-accounted, mixing blobs it cannot read;
 //! * [`CascadeClient`] — builds onions from the hops' **attested** keys;
 //! * [`CascadeCoordinator`] — drives rounds end-to-end with configurable
-//!   skip-or-abort failure semantics ([`FailurePolicy`]);
+//!   skip-or-abort failure semantics ([`FailurePolicy`]), one partial
+//!   round per route group, audited by [`CascadeAudit`];
 //! * [`CascadeTransport`] — plugs the cascade into `mixnn_fl` rounds as an
 //!   [`mixnn_fl::UpdateTransport`].
 
@@ -59,10 +86,13 @@ mod transport;
 
 pub use client::CascadeClient;
 pub use coordinator::{
-    CascadeAudit, CascadeConfig, CascadeCoordinator, CascadeRound, FailurePolicy,
+    CascadeAudit, CascadeConfig, CascadeCoordinator, CascadeRound, FailurePolicy, RouteGroupAudit,
 };
 pub use error::CascadeError;
 pub use hop::{CascadeHop, CascadeHopConfig, HopDescriptor, HOP_CODE_IDENTITY};
 pub use onion::OnionUpdate;
-pub use topology::{uniform_route, CascadeTopology, LinearChain};
+pub use topology::{
+    route_groups, uniform_route, validate_route, CascadeTopology, FreeRoute, LinearChain,
+    RouteGroup, StratifiedLayout,
+};
 pub use transport::CascadeTransport;

@@ -11,8 +11,11 @@ use rand::SeedableRng;
 ///
 /// As with `MixnnTransport`, the observed updates keep the incoming slot
 /// ids (the server still sees one connection per slot) while their
-/// *contents* are the cascade-mixed updates: no single hop — and no proper
-/// subset of hops — can attribute a forwarded layer to a participant.
+/// *contents* are the cascade-mixed updates. Under the linear chain no
+/// proper subset of hops can attribute a forwarded layer to a
+/// participant; under stratified/free-route layouts the guarantee is
+/// per route group — an adversary must cover a client's entire route
+/// (see `mixnn_attacks::collusion`).
 #[derive(Debug)]
 pub struct CascadeTransport {
     coordinator: CascadeCoordinator,

@@ -6,12 +6,16 @@
 //!   bits;
 //! * the server-side aggregate is bit-identical to classic FL at every
 //!   hop count;
+//! * both also hold for **stratified and free-route layouts**, where the
+//!   round splits into per-route mixing groups and every hop mixes only
+//!   the partial round that traversed it;
 //! * both still hold when an intermediate hop dies of EPC exhaustion
 //!   mid-round under the skip policy (the surviving chain carries the
 //!   round).
 
 use mixnn_cascade::{
-    CascadeConfig, CascadeCoordinator, CascadeHopConfig, FailurePolicy, LinearChain,
+    CascadeConfig, CascadeCoordinator, CascadeHopConfig, CascadeTopology, FailurePolicy, FreeRoute,
+    LinearChain, StratifiedLayout,
 };
 use mixnn_enclave::{AttestationService, EnclaveConfig};
 use mixnn_nn::{LayerParams, ModelParams};
@@ -81,6 +85,53 @@ proptest! {
                 let src = round.audit.composed_source(l, i).expect("in range");
                 prop_assert!(!seen[src]);
                 seen[src] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn non_uniform_layouts_unmix_and_preserve_the_aggregate(
+        hops in 2usize..5,
+        kind in 0usize..2,
+        clients in 3usize..9,
+        layers in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let topology: Box<dyn CascadeTopology> = if kind == 0 {
+            Box::new(StratifiedLayout::evenly(hops, 1 + (seed as usize % hops), seed))
+        } else {
+            Box::new(FreeRoute::new(hops, 1, hops, seed))
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let service = AttestationService::new(&mut rng);
+        let mut cascade = CascadeCoordinator::with_topology(
+            signature(layers),
+            topology,
+            seed,
+            FailurePolicy::Abort,
+            &service,
+            &mut rng,
+        )
+        .expect("valid configuration");
+        let updates = round_updates(clients, layers, seed);
+        let round = cascade.run_round(&updates, &mut rng).expect("round runs");
+
+        // Bit-exact inversion and aggregate, exactly as for the chain.
+        prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &updates);
+        prop_assert_eq!(
+            ModelParams::mean(&updates),
+            ModelParams::mean(&round.mixed)
+        );
+        // The groups partition the round, and mixing never crosses a
+        // group boundary (envelopes are bound to route keys).
+        let covered: usize = round.audit.groups().iter().map(|g| g.members()).sum();
+        prop_assert_eq!(covered, clients);
+        for group in round.audit.groups() {
+            for l in 0..layers {
+                for &out in group.slots() {
+                    let src = round.audit.composed_source(l, out).expect("in range");
+                    prop_assert!(group.slots().contains(&src));
+                }
             }
         }
     }

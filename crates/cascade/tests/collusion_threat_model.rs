@@ -1,11 +1,16 @@
-//! The cascade's headline threat-model claim, checked against real rounds:
-//! the colluding-subset adversary links **nothing** for any proper subset
-//! of hops and **everything** when all hops collude. Seeded and
-//! deterministic — every assertion is a pure function of the cascade
-//! seeds.
+//! The cascade's headline threat-model claims, checked against real
+//! rounds. For the uniform chain: the colluding-subset adversary links
+//! **nothing** for any proper subset of hops and **everything** when all
+//! hops collude. For stratified and free-route layouts: a client is
+//! linked exactly when the subset covers its **whole route** (or its
+//! route is unique), and otherwise keeps its full route group as its
+//! anonymity set. Seeded and deterministic — every assertion is a pure
+//! function of the cascade seeds.
 
-use mixnn_attacks::{analyze_collusion, CollusionReport};
-use mixnn_cascade::{CascadeCoordinator, CascadeRound, FailurePolicy};
+use mixnn_attacks::{analyze_collusion, analyze_routed_collusion, CollusionReport, RouteGroupView};
+use mixnn_cascade::{
+    CascadeCoordinator, CascadeRound, CascadeTopology, FailurePolicy, FreeRoute, StratifiedLayout,
+};
 use mixnn_core::MixPlan;
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
@@ -105,4 +110,91 @@ fn the_analysis_is_deterministic_per_seed() {
     // Different seed ⇒ different plans, but the *metrics* of a proper
     // subset are invariant: still nothing linkable.
     assert_eq!(c.linkable_fraction, 0.0);
+}
+
+fn run_routed_round(topology: Box<dyn CascadeTopology>, seed: u64) -> CascadeRound {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let service = AttestationService::new(&mut rng);
+    let mut cascade = CascadeCoordinator::with_topology(
+        SIGNATURE.to_vec(),
+        topology,
+        seed,
+        FailurePolicy::Abort,
+        &service,
+        &mut rng,
+    )
+    .unwrap();
+    let updates: Vec<ModelParams> = (0..CLIENTS)
+        .map(|_| {
+            ModelParams::from_layers(
+                SIGNATURE
+                    .iter()
+                    .map(|&len| {
+                        LayerParams::from_values(
+                            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    cascade.run_round(&updates, &mut rng).unwrap()
+}
+
+fn routed_views<'a>(round: &'a CascadeRound, colluding: &[usize]) -> Vec<RouteGroupView<'a>> {
+    round
+        .audit
+        .groups()
+        .iter()
+        .map(|g| RouteGroupView::for_group(g.slots(), g.route(), g.plans(), colluding))
+        .collect()
+}
+
+#[test]
+fn routed_adversary_links_exactly_the_covered_routes() {
+    for (hops, seed) in [(3usize, 60u64), (4, 61)] {
+        for layout in [
+            Box::new(StratifiedLayout::evenly(hops, 2, seed)) as Box<dyn CascadeTopology>,
+            Box::new(FreeRoute::new(hops, 1, hops, seed)),
+        ] {
+            let round = run_routed_round(layout, seed);
+            for mask in 0u32..(1 << hops) {
+                let colluding: Vec<usize> = (0..hops).filter(|h| mask & (1 << h) != 0).collect();
+                let report = analyze_routed_collusion(
+                    &routed_views(&round, &colluding),
+                    CLIENTS,
+                    SIGNATURE.len(),
+                );
+                for group in round.audit.groups() {
+                    let covered = group.route().iter().all(|h| colluding.contains(h));
+                    let expected = if covered { 1 } else { group.members() };
+                    for &slot in group.slots() {
+                        assert_eq!(
+                            report.per_client_anonymity[slot],
+                            expected,
+                            "{hops} hops, subset {colluding:?}, route {:?}",
+                            group.route()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn routed_full_collusion_agrees_with_the_honest_audit() {
+    let round = run_routed_round(Box::new(FreeRoute::new(3, 1, 3, 71)), 71);
+    let all = [0usize, 1, 2];
+    let report = analyze_routed_collusion(&routed_views(&round, &all), CLIENTS, SIGNATURE.len());
+    assert_eq!(report.linked_clients(), CLIENTS);
+    for layer in 0..SIGNATURE.len() {
+        for out in 0..CLIENTS {
+            assert_eq!(
+                report.links[layer * CLIENTS + out],
+                round.audit.composed_source(layer, out),
+                "adversary and audit disagree at layer {layer}, output {out}"
+            );
+        }
+    }
 }

@@ -32,7 +32,7 @@ pub struct MixnnProxyConfig {
     pub strategy: MixingStrategy,
     /// Layer signature of the model being proxied. Empty = adopt the
     /// signature of the first update received (§4.3 notes the memory
-    /// allocation "according to the considered neural network models [is]
+    /// allocation "according to the considered neural network models \[is\]
     /// initialized at the creation of the enclave"; pre-configuring the
     /// signature is the faithful mode, inference is a convenience).
     pub expected_signature: Vec<usize>,

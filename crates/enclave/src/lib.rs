@@ -36,5 +36,5 @@ pub use enclave::{Enclave, EnclaveConfig};
 pub use error::EnclaveError;
 pub use memory::{EpcBudget, MemoryStats};
 pub use oblivious::ObliviousBuffer;
-pub use padding::{CostPadder, PaddingMode};
+pub use padding::{CostPadder, PaddingMode, PaddingStats};
 pub use sealing::{seal_data, unseal_data, SealingKey};
