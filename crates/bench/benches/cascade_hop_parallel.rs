@@ -1,0 +1,92 @@
+//! Parallel vs sequential onion unwrapping at one cascade hop.
+//!
+//! A hop's round ingest decrypts C×L sealed envelopes — the §6.5
+//! bottleneck, multiplied by the chain length. This bench measures what
+//! the staged ingest fan-out buys back at one hop: each iteration runs
+//! `CascadeHop::mix_round` over `C` pre-sealed onions at 1, 2, 4 and 8
+//! ingest workers. Outputs are bit-identical across worker counts
+//! (enforced by the cascade determinism tests), so the ratio between the
+//! 1-worker and N-worker lines is pure pipeline speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mixnn_cascade::{CascadeHop, CascadeHopConfig, OnionUpdate};
+use mixnn_core::Parallelism;
+use mixnn_enclave::AttestationService;
+use mixnn_nn::{LayerParams, ModelParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const SIGNATURE: [usize; 4] = [1024, 1024, 512, 256];
+
+fn launch_hop(workers: usize, rng: &mut StdRng) -> CascadeHop {
+    let service = AttestationService::new(rng);
+    CascadeHop::launch(
+        0,
+        CascadeHopConfig {
+            seed: 7,
+            parallelism: Parallelism {
+                ingest_workers: workers,
+                ..Parallelism::sequential()
+            },
+            ..CascadeHopConfig::default()
+        },
+        SIGNATURE.len(),
+        &service,
+        rng,
+    )
+}
+
+fn sealed_onions(hop: &CascadeHop, clients: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    let keys = [*hop.public_key()];
+    (0..clients)
+        .map(|_| {
+            let params = ModelParams::from_layers(
+                SIGNATURE
+                    .iter()
+                    .map(|&len| {
+                        LayerParams::from_values(
+                            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            OnionUpdate::build(&params, &keys, rng).encode()
+        })
+        .collect()
+}
+
+fn bench_hop_ingest_workers(c: &mut Criterion) {
+    for &clients in &[16usize, 64] {
+        let mut group = c.benchmark_group(format!("cascade_hop/C{clients}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(2))
+            .throughput(Throughput::Elements(clients as u64));
+        for &workers in &[1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("workers", workers),
+                &workers,
+                |b, &workers| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    let reference = launch_hop(workers, &mut rng);
+                    let sealed = sealed_onions(&reference, clients, &mut rng);
+                    b.iter(|| {
+                        // A fresh hop per iteration (same launch seed, so
+                        // the enclave holds the keypair the onions were
+                        // sealed to) keeps every round's plan draw and EPC
+                        // charge pattern identical.
+                        let mut rng = StdRng::seed_from_u64(3);
+                        let mut hop = launch_hop(workers, &mut rng);
+                        hop.mix_round(&sealed).unwrap()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_hop_ingest_workers);
+criterion_main!(benches);

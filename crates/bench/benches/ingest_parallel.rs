@@ -31,7 +31,7 @@ fn launch_proxy(workers: usize, rng: &mut StdRng) -> MixnnProxy {
             parallelism: Parallelism {
                 ingest_workers: workers,
                 mix_shards: workers,
-                client_workers: 1,
+                ..Parallelism::sequential()
             },
             ..MixnnProxyConfig::default()
         },

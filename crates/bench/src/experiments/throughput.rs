@@ -137,7 +137,7 @@ pub fn run(
             let parallelism = Parallelism {
                 ingest_workers: workers,
                 mix_shards: workers,
-                client_workers: 1,
+                ..Parallelism::sequential()
             };
             let mut proxy = launch(signature.clone(), seed, parallelism);
             let ingest = ParallelIngest::new(workers);

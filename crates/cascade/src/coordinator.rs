@@ -1,16 +1,39 @@
 //! Driving rounds through the chain — or, for stratified and free-route
 //! layouts, through every route group's chain.
+//!
+//! # Concurrency
+//!
+//! Two axes of the round parallelize without changing a single output
+//! bit:
+//!
+//! * **Route groups** ([`Parallelism::group_workers`]): groups share no
+//!   envelopes by construction (each onion is sealed to its route's
+//!   keys), so independent groups can walk their hop sequences
+//!   concurrently. Determinism is preserved by pre-drawing every group's
+//!   per-hop plans from *cloned* hop RNG streams in the canonical
+//!   sequential order, running the groups on [`CascadeHop`]'s `&self`
+//!   round core, and committing RNG streams and stats only when the whole
+//!   round succeeds. Any failure discards the optimistic attempt and
+//!   re-runs the canonical sequential drive — which reproduces the
+//!   sequential failure (and its skip-or-abort handling) exactly.
+//! * **Rounds across hops** ([`Parallelism::pipeline_depth`], via
+//!   [`CascadeCoordinator::run_rounds`]): with depth `d`, up to `d` whole
+//!   rounds are in flight at once, so hop `i + 1` mixes round `r` while
+//!   hop `i` ingests round `r + 1`. Each round seals from its own derived
+//!   RNG stream (one `u64` drawn from the caller per round, at every
+//!   depth), so outputs are invariant to the depth.
 
 use crate::topology::{partition_routes, uniform_route, validate_route, RouteGroup};
 use crate::{
     CascadeClient, CascadeError, CascadeHop, CascadeHopConfig, CascadeTopology, HopDescriptor,
     LinearChain, OnionUpdate,
 };
-use mixnn_core::{shard_seed, MixPlan, ProxyStats};
+use mixnn_core::{map_chunked, shard_seed, MixPlan, Parallelism, ProxyStats};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// How many client slots [`CascadeCoordinator::client`] probes when
 /// checking that the topology routes everyone identically (that
@@ -42,10 +65,17 @@ pub struct CascadeConfig {
     pub hops: Vec<CascadeHopConfig>,
     /// Skip-or-abort semantics for hop failures.
     pub policy: FailurePolicy,
+    /// Coordinator-level worker knobs: `group_workers` drives independent
+    /// route groups concurrently, `pipeline_depth` keeps that many rounds
+    /// in flight across hops in [`CascadeCoordinator::run_rounds`].
+    /// Results are bit-identical at every setting. Per-hop ingest fan-out
+    /// is configured on each [`CascadeHopConfig`] (or wholesale via
+    /// [`CascadeCoordinator::set_parallelism`]).
+    pub parallelism: Parallelism,
 }
 
 /// Everything one cascade round produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CascadeRound {
     /// The mixed updates as the server receives them, in slot order.
     pub mixed: Vec<ModelParams>,
@@ -231,19 +261,18 @@ impl CascadeAudit {
     /// The per-hop plans of a **uniform** round (a single route group, as
     /// every [`LinearChain`] round produces), in chain order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the round split into more than one route group — a
-    /// flat plan list cannot describe those; use
-    /// [`CascadeAudit::groups`].
-    pub fn plans(&self) -> &[MixPlan] {
+    /// Returns [`CascadeError::MultiGroupAudit`] when the round split into
+    /// more than one route group — a flat plan list cannot describe
+    /// those; use [`CascadeAudit::groups`].
+    pub fn plans(&self) -> Result<&[MixPlan], CascadeError> {
         match self.groups.as_slice() {
-            [] => &[],
-            [only] => only.plans(),
-            _ => panic!(
-                "round split into {} route groups; use CascadeAudit::groups()",
-                self.groups.len()
-            ),
+            [] => Ok(&[]),
+            [only] => Ok(only.plans()),
+            groups => Err(CascadeError::MultiGroupAudit {
+                groups: groups.len(),
+            }),
         }
     }
 
@@ -384,6 +413,7 @@ pub struct CascadeCoordinator {
     skipped: Vec<bool>,
     signature: Vec<usize>,
     policy: FailurePolicy,
+    parallelism: Parallelism,
 }
 
 impl CascadeCoordinator {
@@ -433,6 +463,7 @@ impl CascadeCoordinator {
             hops,
             signature: config.expected_signature,
             policy: config.policy,
+            parallelism: config.parallelism,
         })
     }
 
@@ -465,6 +496,7 @@ impl CascadeCoordinator {
                 expected_signature,
                 hops,
                 policy,
+                parallelism: Parallelism::sequential(),
             },
             Box::new(LinearChain::new(hop_count.max(1))),
             attestation,
@@ -499,11 +531,28 @@ impl CascadeCoordinator {
                 expected_signature,
                 hops,
                 policy,
+                parallelism: Parallelism::sequential(),
             },
             topology,
             attestation,
             rng,
         )
+    }
+
+    /// The coordinator-level worker configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Reconfigures every parallelism knob at once: the coordinator keeps
+    /// `group_workers` / `pipeline_depth` and every hop adopts
+    /// `ingest_workers`. A pure throughput knob — round outputs, audits
+    /// and stats counters are identical at every setting.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+        for hop in &mut self.hops {
+            hop.set_parallelism(parallelism);
+        }
     }
 
     /// The hops, in hop-index order (skipped ones included).
@@ -635,12 +684,145 @@ impl CascadeCoordinator {
         partition_routes(clients, |slot| self.active_route(slot))
     }
 
+    /// Seals every group's onions in the canonical order (group by group,
+    /// slot by slot) — the same `rng` draws regardless of how the round is
+    /// subsequently driven, so the sealed batches can feed either the
+    /// optimistic concurrent attempt or the canonical sequential drive.
+    /// An associated fn over the hop slice (not `&self`) so the pipelined
+    /// worker tasks can call it without capturing the whole coordinator.
+    fn seal_groups<R: Rng + ?Sized>(
+        hops: &[CascadeHop],
+        groups: &[RouteGroup],
+        updates: &[ModelParams],
+        rng: &mut R,
+    ) -> Vec<Vec<Vec<u8>>> {
+        groups
+            .iter()
+            .map(|group| {
+                let keys: Vec<PublicKey> =
+                    group.route.iter().map(|&h| *hops[h].public_key()).collect();
+                let client = CascadeClient::from_keys(keys);
+                group
+                    .slots
+                    .iter()
+                    .map(|&s| client.seal_update(&updates[s], rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Pre-draws every group's per-hop plans from the given (cloned) hop
+    /// RNG streams, consuming them in the canonical sequential order —
+    /// group-major, route order. `None` when a draw fails (the fallback
+    /// drive surfaces the canonical error).
+    fn draw_group_plans(
+        &self,
+        groups: &[RouteGroup],
+        rng_clones: &mut [StdRng],
+    ) -> Option<Vec<Vec<MixPlan>>> {
+        let mut plans = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut group_plans = Vec::with_capacity(group.route.len());
+            for &h in &group.route {
+                group_plans.push(
+                    self.hops[h]
+                        .draw_plan(group.slots.len(), &mut rng_clones[h])
+                        .ok()?,
+                );
+            }
+            plans.push(group_plans);
+        }
+        Some(plans)
+    }
+
+    /// Commits a successful optimistic drive of one round: absorbs the
+    /// stats deltas in canonical (group-major, route) order and assembles
+    /// the [`CascadeRound`]. Both optimistic paths — the single-round
+    /// group pool and the cross-hop round pipeline — share this commit
+    /// protocol, which is what keeps the bit-identical-across-knobs
+    /// invariant in exactly one place.
+    fn commit_round(
+        &mut self,
+        clients: usize,
+        groups: &[RouteGroup],
+        plans: Vec<Vec<MixPlan>>,
+        outcomes: Vec<GroupOutcome>,
+    ) -> CascadeRound {
+        let mut mixed: Vec<Option<ModelParams>> = vec![None; clients];
+        let mut group_audits = Vec::with_capacity(groups.len());
+        let mut chain: Vec<usize> = Vec::new();
+        for ((group, group_plans), (outputs, deltas)) in groups.iter().zip(plans).zip(outcomes) {
+            for (h, delta) in &deltas {
+                self.hops[*h].absorb_stats(delta);
+            }
+            for (local, params) in outputs.into_iter().enumerate() {
+                mixed[group.slots[local]] = Some(params);
+            }
+            chain.extend(&group.route);
+            group_audits.push(RouteGroupAudit::new(
+                group.slots.clone(),
+                group.route.clone(),
+                group_plans,
+            ));
+        }
+        chain.sort_unstable();
+        chain.dedup();
+        CascadeRound {
+            mixed: mixed
+                .into_iter()
+                .map(|m| m.expect("groups partition the round"))
+                .collect(),
+            audit: CascadeAudit::from_groups(clients, group_audits),
+            chain,
+            skipped_this_round: Vec::new(),
+        }
+    }
+
+    /// The optimistic concurrent drive: pre-draws every group's per-hop
+    /// plans from **cloned** hop RNG streams in canonical order, walks the
+    /// groups through their routes on a bounded worker pool (each call on
+    /// the hop's `&self` round core), and commits RNG streams + stats only
+    /// if every group succeeded. Returns `None` on any failure — all EPC
+    /// charges are already released, nothing was committed, and the caller
+    /// falls back to the canonical sequential drive (which reproduces the
+    /// sequential failure semantics exactly).
+    fn try_concurrent_round(
+        &mut self,
+        groups: &[RouteGroup],
+        batches: &[Vec<Vec<u8>>],
+        clients: usize,
+    ) -> Option<CascadeRound> {
+        let mut rng_clones: Vec<StdRng> = self.hops.iter().map(CascadeHop::rng_clone).collect();
+        let plans = self.draw_group_plans(groups, &mut rng_clones)?;
+
+        let hops = &self.hops;
+        let signature = &self.signature;
+        let tasks: Vec<usize> = (0..groups.len()).collect();
+        let outcomes: Vec<Option<GroupOutcome>> =
+            map_chunked(&tasks, self.parallelism.group_workers, |&gi: &usize| {
+                drive_group_shared(hops, signature, &groups[gi], &batches[gi], &plans[gi])
+            });
+        let outcomes: Vec<GroupOutcome> = outcomes.into_iter().collect::<Option<Vec<_>>>()?;
+
+        // Whole round succeeded: commit the RNG draws, then the stats.
+        for (hop, rng) in self.hops.iter_mut().zip(rng_clones) {
+            hop.set_rng(rng);
+        }
+        Some(self.commit_round(clients, groups, plans, outcomes))
+    }
+
     /// Drives one round end-to-end: partition the slots into route groups,
     /// onion-encrypt every group's updates for its route (drawing sealing
-    /// entropy from `rng`, group by group in route order), pass each
+    /// entropy from `rng`, group by group in canonical order), pass each
     /// group's batch hop to hop — every hop mixes **only the partial round
     /// that traversed it** — and decode the final plaintext updates back
     /// into slot order.
+    ///
+    /// With [`Parallelism::group_workers`] `> 1`, independent route groups
+    /// are driven concurrently on a bounded worker pool; outputs, audits
+    /// and stats counters are **bit-identical to the sequential drive at
+    /// every worker count** (see the module docs for why), so the knob is
+    /// pure throughput.
     ///
     /// Under [`FailurePolicy::Skip`], a failing hop is marked down and the
     /// round restarts on the surviving routes — groups are re-partitioned
@@ -679,22 +861,28 @@ impl CascadeCoordinator {
         let mut skipped_this_round = Vec::new();
         'retry: loop {
             let groups = self.active_groups(updates.len())?;
+            // One sealing pass per attempt, canonical order, shared by both
+            // drives below — identical `rng` consumption at every worker
+            // count.
+            let batches = Self::seal_groups(&self.hops, &groups, updates, rng);
+
+            if self.parallelism.group_workers > 1 && groups.len() > 1 {
+                if let Some(round) = self.try_concurrent_round(&groups, &batches, updates.len()) {
+                    return Ok(CascadeRound {
+                        skipped_this_round,
+                        ..round
+                    });
+                }
+                // Something failed mid-flight; nothing was committed. Fall
+                // through to the canonical sequential drive on the same
+                // sealed batches so errors and skip handling are exactly
+                // the sequential ones.
+            }
+
             let mut mixed: Vec<Option<ModelParams>> = vec![None; updates.len()];
             let mut group_audits = Vec::with_capacity(groups.len());
             let mut chain: Vec<usize> = Vec::new();
-            for group in &groups {
-                let keys: Vec<PublicKey> = group
-                    .route
-                    .iter()
-                    .map(|&h| *self.hops[h].public_key())
-                    .collect();
-                let client = CascadeClient::from_keys(keys);
-                let mut batch: Vec<Vec<u8>> = group
-                    .slots
-                    .iter()
-                    .map(|&s| client.seal_update(&updates[s], rng))
-                    .collect();
-
+            for (group, mut batch) in groups.iter().zip(batches) {
                 let mut plans = Vec::with_capacity(group.route.len());
                 for &h in &group.route {
                     match self.hops[h].mix_round(&batch) {
@@ -736,6 +924,159 @@ impl CascadeCoordinator {
             });
         }
     }
+
+    /// Drives a batch of rounds with cross-hop pipelining: with
+    /// [`Parallelism::pipeline_depth`] `= d`, up to `d` rounds are in
+    /// flight at once, so hop `i + 1` can be mixing round `r` while hop
+    /// `i` ingests round `r + 1` — the cascade's wall-clock approaches the
+    /// slowest hop's share instead of the whole chain's sum.
+    ///
+    /// Each round seals its onions from an independent RNG stream derived
+    /// by drawing one `u64` from `rng` per round **up front** — the
+    /// caller's RNG consumption and every round's output are therefore
+    /// invariant to the depth (`d = 1` is the plain sequential
+    /// round-after-round loop, and any `d` reproduces it bit-exactly; on
+    /// any in-flight failure the whole batch re-runs sequentially, which
+    /// also restores the canonical skip-or-abort semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CascadeCoordinator::run_round`], from the
+    /// first round that fails; earlier rounds' effects on coordinator
+    /// state (stats, skip flags) stand, exactly as if the rounds had been
+    /// driven one by one.
+    pub fn run_rounds<R: Rng + ?Sized>(
+        &mut self,
+        rounds: &[Vec<ModelParams>],
+        rng: &mut R,
+    ) -> Result<Vec<CascadeRound>, CascadeError> {
+        let seeds: Vec<u64> = (0..rounds.len()).map(|_| rng.gen()).collect();
+        let depth = self.parallelism.pipeline_depth;
+
+        if depth > 1 && rounds.len() > 1 {
+            if let Some(out) = self.try_pipelined_rounds(rounds, &seeds) {
+                return Ok(out);
+            }
+            // Fall back: nothing was committed; the sequential loop below
+            // reproduces canonical behaviour (including partial progress
+            // before a genuinely failing round).
+        }
+        rounds
+            .iter()
+            .zip(&seeds)
+            .map(|(updates, &seed)| self.run_round(updates, &mut StdRng::seed_from_u64(seed)))
+            .collect()
+    }
+
+    /// The optimistic pipelined drive behind
+    /// [`CascadeCoordinator::run_rounds`]: validates, partitions and
+    /// pre-draws plans for **every** round up front (hop plan streams
+    /// consumed in round order via clones — cheap, O(C·L) per round), then
+    /// runs whole rounds concurrently at the configured depth. Each
+    /// worker task seals its own round from the round's derived RNG
+    /// stream (sealing is the expensive half of round setup, and the
+    /// per-round streams make it order-independent), so peak memory and
+    /// sealing work are bounded by the rounds actually in flight rather
+    /// than the whole batch. Commits everything in round order only when
+    /// every round succeeded; any failure returns `None` with no state
+    /// change.
+    fn try_pipelined_rounds(
+        &mut self,
+        rounds: &[Vec<ModelParams>],
+        seeds: &[u64],
+    ) -> Option<Vec<CascadeRound>> {
+        let mut rng_clones: Vec<StdRng> = self.hops.iter().map(CascadeHop::rng_clone).collect();
+        let mut prepared: Vec<(Vec<RouteGroup>, Vec<Vec<MixPlan>>)> =
+            Vec::with_capacity(rounds.len());
+        for updates in rounds {
+            if updates.is_empty() || updates.iter().any(|u| u.signature() != self.signature) {
+                return None; // canonical validation errors come from the fallback
+            }
+            let groups = self.active_groups(updates.len()).ok()?;
+            let plans = self.draw_group_plans(&groups, &mut rng_clones)?;
+            prepared.push((groups, plans));
+        }
+
+        // Capture only `Sync` fields — the boxed topology is not shareable
+        // (and the worker tasks have no business routing anyway).
+        let hops = &self.hops;
+        let signature = &self.signature;
+        let group_workers = self.parallelism.group_workers;
+        let tasks: Vec<usize> = (0..rounds.len()).collect();
+        let outcomes: Vec<Option<Vec<GroupOutcome>>> = map_chunked(
+            &tasks,
+            self.parallelism.pipeline_depth,
+            |&r: &usize| -> Option<Vec<GroupOutcome>> {
+                let (groups, plans) = &prepared[r];
+                let batches = Self::seal_groups(
+                    hops,
+                    groups,
+                    &rounds[r],
+                    &mut StdRng::seed_from_u64(seeds[r]),
+                );
+                let group_tasks: Vec<usize> = (0..groups.len()).collect();
+                map_chunked(&group_tasks, group_workers, |&gi: &usize| {
+                    drive_group_shared(hops, signature, &groups[gi], &batches[gi], &plans[gi])
+                })
+                .into_iter()
+                .collect()
+            },
+        );
+        let outcomes: Vec<Vec<GroupOutcome>> = outcomes.into_iter().collect::<Option<Vec<_>>>()?;
+
+        // Every round succeeded: commit in round order.
+        for (hop, rng) in self.hops.iter_mut().zip(rng_clones) {
+            hop.set_rng(rng);
+        }
+        let mut results = Vec::with_capacity(rounds.len());
+        for ((updates, (groups, plans)), round_outcome) in rounds.iter().zip(prepared).zip(outcomes)
+        {
+            results.push(self.commit_round(updates.len(), &groups, plans, round_outcome));
+        }
+        Some(results)
+    }
+}
+
+/// What one route group's optimistic drive produced: the decoded final
+/// outputs in group-local slot order, and the per-(hop, delta) stats to
+/// absorb in canonical order on commit.
+type GroupOutcome = (Vec<ModelParams>, Vec<(usize, ProxyStats)>);
+
+/// Walks one route group through its hop sequence on the hops' `&self`
+/// round core with pre-drawn plans, decoding the final onions. `None` on
+/// any failure — every EPC charge was already released per-call, so the
+/// caller can simply fall back to the canonical sequential drive. Shared
+/// by both optimistic paths (the single-round group pool and the
+/// cross-hop round pipeline).
+fn drive_group_shared(
+    hops: &[CascadeHop],
+    signature: &[usize],
+    group: &RouteGroup,
+    batch: &[Vec<u8>],
+    plans: &[MixPlan],
+) -> Option<GroupOutcome> {
+    let mut current: Option<Vec<Vec<u8>>> = None;
+    let mut deltas = Vec::with_capacity(group.route.len());
+    for (pos, &h) in group.route.iter().enumerate() {
+        let input: &[Vec<u8>] = current.as_deref().unwrap_or(batch);
+        let workers = hops[h].parallelism().ingest_workers;
+        let (out, _, delta) = hops[h]
+            .mix_round_shared(input, plans[pos].clone(), workers)
+            .ok()?;
+        current = Some(out);
+        deltas.push((h, delta));
+    }
+    let finished = current.expect("every route has at least one hop");
+    let mut outputs = Vec::with_capacity(finished.len());
+    for wire in &finished {
+        outputs.push(
+            OnionUpdate::decode(wire)
+                .ok()?
+                .into_params(signature)
+                .ok()?,
+        );
+    }
+    Some((outputs, deltas))
 }
 
 #[cfg(test)]
@@ -814,7 +1155,7 @@ mod tests {
         let (mut cascade, _, mut rng) = launch(3, FailurePolicy::Abort);
         let ins = updates(8);
         let round = cascade.run_round(&ins, &mut rng).unwrap();
-        assert_eq!(round.audit.plans().len(), 3);
+        assert_eq!(round.audit.plans().unwrap().len(), 3);
         let changed = ins.iter().zip(&round.mixed).filter(|(a, b)| a != b).count();
         assert!(changed > 0, "no update changed content after cascading");
         // The composed permutation differs from every single hop's plan for
@@ -978,6 +1319,7 @@ mod tests {
                 expected_signature: vec![3, 2],
                 hops,
                 policy: FailurePolicy::Abort,
+                parallelism: Parallelism::sequential(),
             },
             Box::new(LinearChain::new(3)),
             &service,
@@ -1009,6 +1351,7 @@ mod tests {
                 expected_signature: vec![3, 2],
                 hops,
                 policy: FailurePolicy::Skip,
+                parallelism: Parallelism::sequential(),
             },
             Box::new(LinearChain::new(3)),
             &service,
@@ -1078,6 +1421,7 @@ mod tests {
                 expected_signature: vec![3, 2],
                 hops,
                 policy: FailurePolicy::Skip,
+                parallelism: Parallelism::sequential(),
             },
             Box::new(Split),
             &service,
@@ -1112,9 +1456,11 @@ mod tests {
                     .map(|i| CascadeHopConfig {
                         enclave: dead.clone(),
                         seed: i as u64,
+                        ..CascadeHopConfig::default()
                     })
                     .collect(),
                 policy: FailurePolicy::Skip,
+                parallelism: Parallelism::sequential(),
             },
             Box::new(LinearChain::new(2)),
             &service,
@@ -1154,6 +1500,7 @@ mod tests {
                     expected_signature: vec![2],
                     hops: vec![],
                     policy: FailurePolicy::Abort,
+                    parallelism: Parallelism::sequential(),
                 },
                 Box::new(LinearChain::new(1)),
                 &service,
@@ -1167,6 +1514,7 @@ mod tests {
                     expected_signature: vec![],
                     hops: vec![CascadeHopConfig::default()],
                     policy: FailurePolicy::Abort,
+                    parallelism: Parallelism::sequential(),
                 },
                 Box::new(LinearChain::new(1)),
                 &service,
@@ -1180,6 +1528,7 @@ mod tests {
                     expected_signature: vec![2],
                     hops: vec![CascadeHopConfig::default()],
                     policy: FailurePolicy::Abort,
+                    parallelism: Parallelism::sequential(),
                 },
                 Box::new(LinearChain::new(2)),
                 &service,
@@ -1221,7 +1570,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "route groups")]
     fn flat_plans_accessor_rejects_multi_group_audits() {
         let mut rng = StdRng::seed_from_u64(51);
         let a = MixPlan::latin(2, 1, &mut rng).unwrap();
@@ -1233,7 +1581,11 @@ mod tests {
                 RouteGroupAudit::new(vec![2, 3, 4], vec![1], vec![b]),
             ],
         );
-        let _ = audit.plans();
+        let err = audit.plans().unwrap_err();
+        assert_eq!(err, CascadeError::MultiGroupAudit { groups: 2 });
+        assert!(err.to_string().contains("2 route groups"));
+        // The grouped accessor is the supported path.
+        assert_eq!(audit.groups().len(), 2);
     }
 
     #[test]
@@ -1254,5 +1606,195 @@ mod tests {
             round.audit.unmix(&round.mixed[..3]),
             Err(CascadeError::Audit { .. })
         ));
+    }
+
+    /// Extracts the worker-invariant slice of per-hop stats (the
+    /// `*_seconds` fields are wall-clock and excluded by design).
+    fn counter_stats(cascade: &CascadeCoordinator) -> Vec<(u64, u64, u64, u64, u64)> {
+        cascade
+            .hop_stats()
+            .iter()
+            .map(|s| {
+                (
+                    s.updates_received,
+                    s.updates_forwarded,
+                    s.updates_rejected,
+                    s.bytes_received,
+                    s.bytes_rejected,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_route_groups_are_worker_count_invariant() {
+        // Free routes split the round into several groups sharing hops;
+        // two back-to-back rounds also pin the hop RNG streams and the
+        // caller's sealing-RNG consumption across worker counts.
+        let run = |parallelism: Parallelism| {
+            let (mut cascade, _, mut rng) = launch_with(
+                Box::new(FreeRoute::new(4, 1, 4, 55)),
+                FailurePolicy::Abort,
+                36,
+            );
+            cascade.set_parallelism(parallelism);
+            let ins = updates(10);
+            let first = cascade.run_round(&ins, &mut rng).unwrap();
+            assert!(first.audit.groups().len() > 1, "free routes should split");
+            let second = cascade.run_round(&ins, &mut rng).unwrap();
+            (first, second, counter_stats(&cascade))
+        };
+        let sequential = run(Parallelism::sequential());
+        for workers in [2, 4, 8] {
+            let parallel = run(Parallelism {
+                group_workers: workers,
+                ingest_workers: workers,
+                ..Parallelism::sequential()
+            });
+            assert_eq!(sequential, parallel, "group_workers={workers}");
+        }
+    }
+
+    #[test]
+    fn concurrent_skip_falls_back_to_canonical_sequential_semantics() {
+        // A starved hop fails mid-round: the optimistic concurrent attempt
+        // must discard itself and reproduce the sequential skip exactly —
+        // same surviving chain, same outputs, same counters.
+        let run = |group_workers: usize| {
+            let mut rng = StdRng::seed_from_u64(41);
+            let service = AttestationService::new(&mut rng);
+            let mut hops: Vec<CascadeHopConfig> = (0..3)
+                .map(|i| CascadeHopConfig {
+                    seed: 50 + i as u64,
+                    ..CascadeHopConfig::default()
+                })
+                .collect();
+            hops[1].enclave = EnclaveConfig {
+                epc_limit: 32,
+                code_identity: crate::HOP_CODE_IDENTITY.to_vec(),
+                allow_paging: false,
+            };
+            let mut cascade = CascadeCoordinator::launch(
+                CascadeConfig {
+                    expected_signature: vec![3, 2],
+                    hops,
+                    policy: FailurePolicy::Skip,
+                    parallelism: Parallelism {
+                        group_workers,
+                        ..Parallelism::sequential()
+                    },
+                },
+                // Routes of >= 2 hops: skipping the one starved hop can
+                // never empty a route.
+                Box::new(FreeRoute::new(3, 2, 3, 8)),
+                &service,
+                &mut rng,
+            )
+            .unwrap();
+            let ins = updates(6);
+            let round = cascade.run_round(&ins, &mut rng).unwrap();
+            assert_eq!(round.audit.unmix(&round.mixed).unwrap(), ins);
+            (round, cascade.skipped_hops(), counter_stats(&cascade))
+        };
+        let sequential = run(1);
+        assert!(
+            sequential.1.contains(&1),
+            "the starved hop must have been skipped"
+        );
+        for workers in [2, 4] {
+            assert_eq!(sequential, run(workers), "group_workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pipelined_rounds_are_depth_invariant() {
+        let rounds: Vec<Vec<ModelParams>> = (0..4)
+            .map(|r| (0..5).map(|i| params(i + r)).collect())
+            .collect();
+        let run = |parallelism: Parallelism| {
+            let (mut cascade, _, mut rng) = launch_with(
+                Box::new(StratifiedLayout::evenly(4, 2, 77)),
+                FailurePolicy::Abort,
+                33,
+            );
+            cascade.set_parallelism(parallelism);
+            let out = cascade.run_rounds(&rounds, &mut rng).unwrap();
+            (out, counter_stats(&cascade), rng.gen::<u64>())
+        };
+        let sequential = run(Parallelism::sequential());
+        assert_eq!(sequential.0.len(), 4);
+        for (r, round) in sequential.0.iter().enumerate() {
+            assert_eq!(round.audit.unmix(&round.mixed).unwrap(), rounds[r]);
+        }
+        for depth in [2, 3, 8] {
+            let pipelined = run(Parallelism {
+                pipeline_depth: depth,
+                group_workers: 2,
+                ingest_workers: 2,
+                ..Parallelism::sequential()
+            });
+            assert_eq!(sequential, pipelined, "pipeline_depth={depth}");
+        }
+    }
+
+    #[test]
+    fn pipelined_rounds_with_a_dead_hop_match_the_sequential_skip_path() {
+        let rounds: Vec<Vec<ModelParams>> = (0..3)
+            .map(|r| (0..4).map(|i| params(i + r)).collect())
+            .collect();
+        let run = |parallelism: Parallelism| {
+            let mut rng = StdRng::seed_from_u64(47);
+            let service = AttestationService::new(&mut rng);
+            let mut hops: Vec<CascadeHopConfig> = (0..3)
+                .map(|i| CascadeHopConfig {
+                    seed: 80 + i as u64,
+                    ..CascadeHopConfig::default()
+                })
+                .collect();
+            hops[2].enclave = EnclaveConfig {
+                epc_limit: 32,
+                code_identity: crate::HOP_CODE_IDENTITY.to_vec(),
+                allow_paging: false,
+            };
+            let mut cascade = CascadeCoordinator::launch(
+                CascadeConfig {
+                    expected_signature: vec![3, 2],
+                    hops,
+                    policy: FailurePolicy::Skip,
+                    parallelism,
+                },
+                Box::new(LinearChain::new(3)),
+                &service,
+                &mut rng,
+            )
+            .unwrap();
+            let out = cascade.run_rounds(&rounds, &mut rng).unwrap();
+            (out, cascade.skipped_hops(), counter_stats(&cascade))
+        };
+        let sequential = run(Parallelism::sequential());
+        assert_eq!(sequential.1, vec![2], "the starved hop must be skipped");
+        assert_eq!(
+            sequential.0[0].skipped_this_round,
+            vec![2],
+            "the first round takes the hit"
+        );
+        for depth in [2, 4] {
+            let pipelined = run(Parallelism {
+                pipeline_depth: depth,
+                ..Parallelism::sequential()
+            });
+            assert_eq!(sequential, pipelined, "pipeline_depth={depth}");
+        }
+    }
+
+    #[test]
+    fn set_parallelism_reaches_coordinator_and_hops() {
+        let (mut cascade, _, _) = launch(2, FailurePolicy::Abort);
+        cascade.set_parallelism(Parallelism::uniform(4));
+        assert_eq!(cascade.parallelism().group_workers, 4);
+        assert_eq!(cascade.parallelism().pipeline_depth, 4);
+        for hop in cascade.hops() {
+            assert_eq!(hop.parallelism().ingest_workers, 4);
+        }
     }
 }

@@ -52,6 +52,13 @@ pub enum CascadeError {
         /// Human-readable dimension mismatch.
         reason: String,
     },
+    /// `CascadeAudit::plans` was asked for the flat plan list of a round
+    /// that split into multiple route groups — a flat list cannot
+    /// describe those; use `CascadeAudit::groups`.
+    MultiGroupAudit {
+        /// Number of route groups the round split into.
+        groups: usize,
+    },
 }
 
 impl fmt::Display for CascadeError {
@@ -70,6 +77,11 @@ impl fmt::Display for CascadeError {
             ),
             CascadeError::Topology { reason } => write!(f, "unsupported topology: {reason}"),
             CascadeError::Audit { reason } => write!(f, "audit failure: {reason}"),
+            CascadeError::MultiGroupAudit { groups } => write!(
+                f,
+                "round split into {groups} route groups; a flat plan list cannot describe it \
+                 (use CascadeAudit::groups)"
+            ),
         }
     }
 }

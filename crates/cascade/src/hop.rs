@@ -14,9 +14,26 @@
 //! layer) envelopes. A hop on no route receives no calls at all. Nothing
 //! in the hop changes for this — a batch is a batch — which is the point:
 //! partial-round mixing is purely a routing decision.
+//!
+//! # Staged ingest
+//!
+//! §6.5 makes envelope decryption the dominant cost (0.17 s of the 0.19 s
+//! per-update budget), and unwrapping is per-(client, layer) independent —
+//! so a hop's round ingest mirrors `mixnn_core::ParallelIngest`: a
+//! **stateless** stage (decode framing, unwrap this hop's envelope on
+//! every layer, charge the EPC) fans out over
+//! [`Parallelism::ingest_workers`] scoped threads, and an
+//! **order-serialized commit** replays the cross-onion checks (depth
+//! uniformity) and the stats accounting in submission order. Staged
+//! charges can transiently exceed what the sequential loop would hold, so
+//! the moment a staged onion reports EPC exhaustion the hop discards every
+//! not-yet-committed charge and degrades to sequential ingest — the
+//! accept/reject outcome, the surfaced error and the final EPC state are
+//! therefore **bit-identical to the sequential loop at every worker
+//! count**.
 
 use crate::{CascadeError, OnionUpdate};
-use mixnn_core::{MixPlan, ProxyError, ProxyStats};
+use mixnn_core::{map_chunked, MixPlan, Parallelism, ProxyError, ProxyStats};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
 use rand::rngs::StdRng;
@@ -37,6 +54,10 @@ pub struct CascadeHopConfig {
     pub enclave: EnclaveConfig,
     /// RNG seed for this hop's mixing decisions.
     pub seed: u64,
+    /// Worker counts for the hop's staged ingest
+    /// ([`Parallelism::ingest_workers`] is the knob a hop consumes);
+    /// results are bit-identical at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CascadeHopConfig {
@@ -47,6 +68,7 @@ impl Default for CascadeHopConfig {
                 ..EnclaveConfig::default()
             },
             seed: 0,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -73,6 +95,42 @@ pub struct CascadeHop {
     rng: StdRng,
     layers: usize,
     stats: ProxyStats,
+    parallelism: Parallelism,
+}
+
+/// One onion after the stateless ingest stage: its unwrapped per-layer
+/// blobs, the EPC bytes charged for them, and the per-onion timings the
+/// commit folds into the hop's stats in submission order.
+#[derive(Debug)]
+struct StagedOnion {
+    blobs: Vec<Vec<u8>>,
+    charged: usize,
+    store_seconds: f64,
+    decrypt_seconds: f64,
+}
+
+/// A staged onion (or its failure), paired with the declared depth
+/// whenever the framing parsed — the commit needs the depth for the
+/// cross-onion uniformity check even when decryption failed.
+type StagedIngest = (Option<u8>, Result<StagedOnion, CascadeError>);
+
+/// A successfully ingested round: unwrapped rows in submission order, the
+/// EPC bytes still charged for them, and the round's uniform onion depth.
+type IngestedRound = (Vec<Vec<Vec<u8>>>, usize, u8);
+
+/// Staged-but-uncommitted onions are capped at `workers * STAGING_DEPTH`
+/// per chunk: deep enough to amortize thread spawns, shallow enough to
+/// bound the transient EPC overshoot parallel staging can add.
+const STAGING_DEPTH: usize = 4;
+
+fn is_memory_exhausted(e: &CascadeError) -> bool {
+    matches!(
+        e,
+        CascadeError::Hop {
+            source: ProxyError::Enclave(mixnn_enclave::EnclaveError::MemoryExhausted { .. }),
+            ..
+        }
+    )
 }
 
 impl CascadeHop {
@@ -97,7 +155,19 @@ impl CascadeHop {
             rng: StdRng::seed_from_u64(config.seed),
             layers,
             stats: ProxyStats::default(),
+            parallelism: config.parallelism,
         }
+    }
+
+    /// The hop's worker configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Reconfigures the hop's worker counts (a pure throughput knob:
+    /// results are identical at every setting).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 
     /// The hop's position in the cascade.
@@ -148,74 +218,234 @@ impl CascadeHop {
         }
     }
 
-    /// Opens one wire message: decode framing, unwrap this hop's envelope
-    /// on every layer, charge the unwrapped blobs against the EPC while
-    /// they sit in the mixing lists. `charged` accumulates this round's
-    /// EPC footprint so the caller can release it wholesale.
-    fn ingest_one(
-        &mut self,
-        wire: &[u8],
-        charged: &mut usize,
-        hops_remaining: &mut Option<u8>,
-    ) -> Result<Vec<Vec<u8>>, CascadeError> {
+    fn free_charged(&self, charged: usize, context: &str) {
+        self.enclave
+            .memory()
+            .free(charged)
+            .unwrap_or_else(|_| panic!("EPC accounting underflow {context}"));
+    }
+
+    /// The **stateless** ingest stage for one wire message: decode
+    /// framing, validate the per-onion structure, unwrap this hop's
+    /// envelope on every layer and charge the unwrapped blobs against the
+    /// EPC. Takes `&self`; safe to call from any number of workers at
+    /// once. The first returned value is the onion's declared depth
+    /// whenever the framing parsed (the commit needs it for the
+    /// cross-onion uniformity check even when decryption failed); a
+    /// failing stage frees its own partial charges before returning.
+    fn ingest_stage(&self, wire: &[u8]) -> StagedIngest {
         let t0 = Instant::now();
-        let onion = OnionUpdate::decode(wire)?;
+        let onion = match OnionUpdate::decode(wire) {
+            Ok(onion) => onion,
+            Err(e) => return (None, Err(e)),
+        };
         if onion.num_layers() != self.layers {
-            return Err(self.hop_err(ProxyError::SignatureMismatch {
-                expected: vec![self.layers],
-                actual: vec![onion.num_layers()],
-            }));
+            return (
+                None,
+                Err(self.hop_err(ProxyError::SignatureMismatch {
+                    expected: vec![self.layers],
+                    actual: vec![onion.num_layers()],
+                })),
+            );
         }
         if onion.hops_remaining() == 0 {
-            return Err(CascadeError::Onion {
-                reason: "no sealed envelopes left for this hop".to_string(),
-            });
+            return (
+                None,
+                Err(CascadeError::Onion {
+                    reason: "no sealed envelopes left for this hop".to_string(),
+                }),
+            );
         }
-        match hops_remaining {
-            None => *hops_remaining = Some(onion.hops_remaining()),
-            Some(seen) if *seen != onion.hops_remaining() => {
-                return Err(CascadeError::Onion {
-                    reason: format!(
-                        "mixed onion depths in one round: {seen} vs {}",
-                        onion.hops_remaining()
-                    ),
-                });
-            }
-            Some(_) => {}
-        }
-        self.stats.store_seconds += t0.elapsed().as_secs_f64();
+        let depth = onion.hops_remaining();
+        let store_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
+        let mut charged = 0usize;
         let mut blobs = Vec::with_capacity(self.layers);
         for sealed in onion.into_layers() {
-            let inner = self
-                .enclave
-                .decrypt(&sealed)
-                .map_err(|e| self.hop_err(e.into()))?;
-            // Charge the unwrapped blob while it waits in a mixing list
-            // (the transient decrypt buffer was charged and released inside
-            // `decrypt`).
-            self.enclave
-                .memory()
-                .allocate(inner.len())
-                .map_err(|e| self.hop_err(e.into()))?;
-            *charged += inner.len();
-            blobs.push(inner);
+            let unwrapped = self.enclave.decrypt(&sealed).and_then(|inner| {
+                // Charge the unwrapped blob while it waits in a mixing
+                // list (the transient decrypt buffer was charged and
+                // released inside `decrypt`).
+                self.enclave.memory().allocate(inner.len())?;
+                Ok(inner)
+            });
+            match unwrapped {
+                Ok(inner) => {
+                    charged += inner.len();
+                    blobs.push(inner);
+                }
+                Err(e) => {
+                    self.free_charged(charged, "while failing an ingest stage");
+                    return (Some(depth), Err(self.hop_err(e.into())));
+                }
+            }
         }
-        self.stats.decrypt_seconds += t1.elapsed().as_secs_f64();
-        Ok(blobs)
+        (
+            Some(depth),
+            Ok(StagedOnion {
+                blobs,
+                charged,
+                store_seconds,
+                decrypt_seconds: t1.elapsed().as_secs_f64(),
+            }),
+        )
+    }
+
+    /// Releases a staged onion that will not be committed.
+    fn discard_staged(&self, staged: StagedOnion) {
+        self.free_charged(staged.charged, "while discarding a staged onion");
+    }
+
+    /// Ingests a whole round: stage 1 fans out over `workers` threads in
+    /// bounded chunks, stage 2 commits in submission order (depth
+    /// uniformity, stats, EPC accounting). On the first staged EPC
+    /// exhaustion every not-yet-committed charge is discarded and the rest
+    /// of the round re-runs sequentially — reproducing the sequential
+    /// loop's exact memory conditions, so accept/reject outcomes and the
+    /// surfaced error are identical at every worker count.
+    ///
+    /// On success returns the unwrapped rows (submission order), the total
+    /// EPC bytes still charged for them, and the round's uniform depth. On
+    /// failure every charge is released. `delta` accumulates the §6.5
+    /// counters either way (exactly what the sequential loop would have
+    /// recorded up to the failure).
+    fn ingest_round(
+        &self,
+        incoming: &[Vec<u8>],
+        workers: usize,
+        delta: &mut ProxyStats,
+    ) -> Result<IngestedRound, CascadeError> {
+        let workers = Parallelism::effective(workers, incoming.len());
+        let mut degraded = workers <= 1;
+        let chunk_len = workers.saturating_mul(STAGING_DEPTH).max(1);
+        let mut charged_total = 0usize;
+        let mut depth_seen: Option<u8> = None;
+        let mut rows: Vec<Vec<Vec<u8>>> = Vec::with_capacity(incoming.len());
+
+        for chunk in incoming.chunks(chunk_len) {
+            let mut staged: Vec<Option<StagedIngest>> = if degraded {
+                (0..chunk.len()).map(|_| None).collect()
+            } else {
+                map_chunked(chunk, workers, |wire: &Vec<u8>| self.ingest_stage(wire))
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            };
+            for (i, wire) in chunk.iter().enumerate() {
+                delta.bytes_received += wire.len() as u64;
+                let (depth, outcome) = match staged[i].take() {
+                    Some((depth, outcome)) => {
+                        if outcome.as_ref().is_err_and(is_memory_exhausted) {
+                            // Charges staged ahead of this onion inflated
+                            // the budget beyond what the sequential loop
+                            // would hold; drop them and retry this onion
+                            // under the sequential loop's exact conditions.
+                            degraded = true;
+                            for slot in staged.iter_mut().skip(i + 1) {
+                                if let Some((_, Ok(ahead))) = slot.take() {
+                                    self.discard_staged(ahead);
+                                }
+                            }
+                            self.ingest_stage(wire)
+                        } else {
+                            (depth, outcome)
+                        }
+                    }
+                    // Degraded mid-chunk: the staged result (and its EPC
+                    // charge, if any) was discarded above — re-ingest now.
+                    None => self.ingest_stage(wire),
+                };
+                // The cross-onion depth check is the one stateful
+                // validation; replay it in submission order, before the
+                // decrypt outcome, exactly as the sequential loop orders
+                // its checks.
+                let outcome = match (depth, depth_seen) {
+                    (Some(d), Some(seen)) if d != seen => {
+                        if let Ok(staged_onion) = outcome {
+                            self.discard_staged(staged_onion);
+                        }
+                        Err(CascadeError::Onion {
+                            reason: format!("mixed onion depths in one round: {seen} vs {d}"),
+                        })
+                    }
+                    (Some(d), None) => {
+                        depth_seen = Some(d);
+                        outcome
+                    }
+                    _ => outcome,
+                };
+                match outcome {
+                    Ok(staged_onion) => {
+                        delta.updates_received += 1;
+                        delta.store_seconds += staged_onion.store_seconds;
+                        delta.decrypt_seconds += staged_onion.decrypt_seconds;
+                        charged_total += staged_onion.charged;
+                        rows.push(staged_onion.blobs);
+                    }
+                    Err(e) => {
+                        delta.updates_rejected += 1;
+                        delta.bytes_rejected += wire.len() as u64;
+                        for slot in staged.iter_mut().skip(i + 1) {
+                            if let Some((_, Ok(ahead))) = slot.take() {
+                                self.discard_staged(ahead);
+                            }
+                        }
+                        self.free_charged(charged_total, "while failing a round");
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok((
+            rows,
+            charged_total,
+            depth_seen.expect("non-empty round saw a depth"),
+        ))
+    }
+
+    /// Applies `plan` to ingested rows and re-frames the outputs; releases
+    /// the round's EPC charges on both paths.
+    fn finish_round(
+        &self,
+        rows: Vec<Vec<Vec<u8>>>,
+        charged: usize,
+        depth: u8,
+        plan: Result<MixPlan, ProxyError>,
+        delta: &mut ProxyStats,
+    ) -> Result<(Vec<Vec<u8>>, MixPlan), CascadeError> {
+        let t0 = Instant::now();
+        let mixed = plan.and_then(|plan| Ok((plan.apply_owned(rows)?, plan)));
+        let (mixed, plan) = match mixed {
+            Ok(out) => out,
+            Err(e) => {
+                self.free_charged(charged, "while failing a round");
+                return Err(self.hop_err(e));
+            }
+        };
+        let outgoing: Vec<Vec<u8>> = mixed
+            .into_iter()
+            .map(|layers| OnionUpdate::from_parts(depth - 1, layers).encode())
+            .collect();
+        self.free_charged(charged, "after mixing");
+        delta.mix_seconds += t0.elapsed().as_secs_f64();
+        delta.updates_forwarded += outgoing.len() as u64;
+        Ok((outgoing, plan))
     }
 
     /// Processes one round: unwraps this hop's envelope on every (client,
-    /// layer) blob, draws a fresh [`MixPlan`], shuffles the blobs across
-    /// clients per layer, and re-frames the outputs for the next hop (or,
-    /// after the last hop, for the server).
+    /// layer) blob — fanned over the configured
+    /// [`Parallelism::ingest_workers`] — draws a fresh [`MixPlan`],
+    /// shuffles the blobs across clients per layer, and re-frames the
+    /// outputs for the next hop (or, after the last hop, for the server).
     ///
     /// The round is all-or-nothing: any failure — malformed framing, a
     /// ciphertext this hop cannot open, EPC exhaustion — releases every
     /// byte charged so far and fails the whole round, so the coordinator
     /// can apply its skip-or-abort policy. The plan is returned for audits
     /// and experiments (in a deployment it never leaves the enclave).
+    /// Outputs, stats counters and EPC state are bit-identical at every
+    /// worker count (see the module docs).
     ///
     /// # Errors
     ///
@@ -229,55 +459,79 @@ impl CascadeHop {
         if incoming.is_empty() {
             return Err(CascadeError::EmptyRound);
         }
-        let mut charged = 0usize;
-        let mut hops_remaining = None;
-        let mut rows: Vec<Vec<Vec<u8>>> = Vec::with_capacity(incoming.len());
-        for wire in incoming {
-            self.stats.bytes_received += wire.len() as u64;
-            match self.ingest_one(wire, &mut charged, &mut hops_remaining) {
-                Ok(blobs) => {
-                    self.stats.updates_received += 1;
-                    rows.push(blobs);
-                }
-                Err(e) => {
-                    self.stats.updates_rejected += 1;
-                    self.stats.bytes_rejected += wire.len() as u64;
-                    self.enclave
-                        .memory()
-                        .free(charged)
-                        .expect("EPC accounting underflow while failing a round");
-                    return Err(e);
-                }
-            }
-        }
+        let mut delta = ProxyStats::default();
+        let ingested = self.ingest_round(incoming, self.parallelism.ingest_workers, &mut delta);
+        self.stats.absorb(&delta);
+        let (rows, charged, depth) = ingested?;
 
-        let t0 = Instant::now();
         // The shared round-plan policy (`MixPlan::for_round`) keeps this
-        // hop's mixing semantics identical to the single proxy's.
+        // hop's mixing semantics identical to the single proxy's. The plan
+        // is drawn only after a fully successful ingest, so a failed round
+        // never advances the hop's RNG stream.
         let plan = MixPlan::for_round(rows.len(), self.layers, &mut self.rng);
-        let mixed = plan
-            .and_then(|plan| Ok((plan.apply_owned(rows)?, plan)))
-            .map_err(|e| {
-                self.enclave
-                    .memory()
-                    .free(charged)
-                    .expect("EPC accounting underflow while failing a round");
-                self.hop_err(e)
-            });
-        let (mixed, plan) = mixed?;
+        let mut delta = ProxyStats::default();
+        let finished = self.finish_round(rows, charged, depth, plan, &mut delta);
+        self.stats.absorb(&delta);
+        finished
+    }
 
-        let out_depth = hops_remaining.expect("non-empty round saw a depth") - 1;
-        let outgoing: Vec<Vec<u8>> = mixed
-            .into_iter()
-            .map(|layers| OnionUpdate::from_parts(out_depth, layers).encode())
-            .collect();
-        self.enclave
-            .memory()
-            .free(charged)
-            .expect("EPC accounting underflow after mixing");
-        self.stats.mix_seconds += t0.elapsed().as_secs_f64();
-        self.stats.updates_forwarded += outgoing.len() as u64;
-        Ok((outgoing, plan))
+    /// The `&self` round core behind [`CascadeHop::mix_round`], for
+    /// callers that pre-draw the plan (the coordinator's concurrent
+    /// route-group pool): ingest with `workers`, apply the given plan,
+    /// re-frame. Shared state touched is only the lock-free EPC budget, so
+    /// any number of groups may run concurrently on one hop; the caller
+    /// merges the returned stats delta in canonical group order on
+    /// success (and discards it on failure, where the canonical sequential
+    /// retry recomputes the stats).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CascadeHop::mix_round`].
+    pub(crate) fn mix_round_shared(
+        &self,
+        incoming: &[Vec<u8>],
+        plan: MixPlan,
+        workers: usize,
+    ) -> Result<(Vec<Vec<u8>>, MixPlan, ProxyStats), CascadeError> {
+        if incoming.is_empty() {
+            return Err(CascadeError::EmptyRound);
+        }
+        let mut delta = ProxyStats::default();
+        let (rows, charged, depth) = self.ingest_round(incoming, workers, &mut delta)?;
+        let (outgoing, plan) = self.finish_round(rows, charged, depth, Ok(plan), &mut delta)?;
+        Ok((outgoing, plan, delta))
+    }
+
+    /// Merges a stats delta produced by [`CascadeHop::mix_round_shared`]
+    /// into the hop's own counters (called by the coordinator in canonical
+    /// group order after a successful concurrent round).
+    pub(crate) fn absorb_stats(&mut self, delta: &ProxyStats) {
+        self.stats.absorb(delta);
+    }
+
+    /// Draws the plan this hop would use for a round of `participants`
+    /// from `rng` — the coordinator pre-draws plans from cloned hop RNG
+    /// streams so concurrent groups consume the streams in canonical
+    /// order.
+    pub(crate) fn draw_plan(
+        &self,
+        participants: usize,
+        rng: &mut StdRng,
+    ) -> Result<MixPlan, CascadeError> {
+        MixPlan::for_round(participants, self.layers, rng).map_err(|e| self.hop_err(e))
+    }
+
+    /// The hop's mixing RNG stream (cloned by the coordinator's optimistic
+    /// concurrent path; committed back only when the whole round
+    /// succeeds).
+    pub(crate) fn rng_clone(&self) -> StdRng {
+        self.rng.clone()
+    }
+
+    /// Replaces the hop's mixing RNG stream (committing a successful
+    /// optimistic round's draws).
+    pub(crate) fn set_rng(&mut self, rng: StdRng) {
+        self.rng = rng;
     }
 }
 
@@ -394,6 +648,7 @@ mod tests {
                     allow_paging: false,
                 },
                 seed: 5,
+                ..CascadeHopConfig::default()
             },
             2,
             &service,
@@ -412,6 +667,125 @@ mod tests {
             }
         ));
         assert_eq!(hop.memory_stats().allocated, 0, "failed round must free");
+    }
+
+    #[test]
+    fn staged_ingest_is_worker_count_invariant() {
+        let run = |workers: usize| {
+            let (mut hops, _, mut rng) = launch_chain(2, 2);
+            for h in &mut hops {
+                h.set_parallelism(Parallelism {
+                    ingest_workers: workers,
+                    ..Parallelism::sequential()
+                });
+            }
+            let batch = onions(&hops, 7, &mut rng);
+            let (batch, plan0) = hops[0].mix_round(&batch).unwrap();
+            let (batch, plan1) = hops[1].mix_round(&batch).unwrap();
+            let counters = hops
+                .iter()
+                .map(|h| {
+                    let s = h.stats();
+                    (s.updates_received, s.updates_forwarded, s.bytes_received)
+                })
+                .collect::<Vec<_>>();
+            (batch, plan0, plan1, counters)
+        };
+        let sequential = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(sequential, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tight_epc_failure_is_worker_count_invariant() {
+        // Parallel staging transiently charges more than the sequential
+        // loop; the degrade path must reproduce the sequential failure —
+        // same error, same rejected counters, no leak — at every worker
+        // count.
+        let run = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(12);
+            let service = AttestationService::new(&mut rng);
+            let mut hop = CascadeHop::launch(
+                0,
+                CascadeHopConfig {
+                    enclave: EnclaveConfig {
+                        epc_limit: 48,
+                        code_identity: HOP_CODE_IDENTITY.to_vec(),
+                        allow_paging: false,
+                    },
+                    seed: 5,
+                    parallelism: Parallelism {
+                        ingest_workers: workers,
+                        ..Parallelism::sequential()
+                    },
+                },
+                2,
+                &service,
+                &mut rng,
+            );
+            let keys = [*hop.public_key()];
+            let batch: Vec<Vec<u8>> = (0..6)
+                .map(|i| OnionUpdate::build(&params(i), &keys, &mut rng).encode())
+                .collect();
+            let err = hop.mix_round(&batch).unwrap_err();
+            assert_eq!(hop.memory_stats().allocated, 0, "workers={workers}");
+            let s = hop.stats();
+            (
+                err.to_string(),
+                s.updates_received,
+                s.updates_rejected,
+                s.bytes_received,
+                s.bytes_rejected,
+            )
+        };
+        let sequential = run(1);
+        assert!(sequential.0.contains("exhausted"));
+        for workers in [2, 4, 8] {
+            assert_eq!(sequential, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn mixed_depth_round_fails_identically_at_every_worker_count() {
+        let run = |workers: usize| {
+            let (mut hops, _, mut rng) = launch_chain(2, 2);
+            hops[0].set_parallelism(Parallelism {
+                ingest_workers: workers,
+                ..Parallelism::sequential()
+            });
+            let mut batch = onions(&hops, 4, &mut rng);
+            // Onion 2 sealed for a single hop: depth 1 among depth-2 peers.
+            let keys = [*hops[0].public_key()];
+            batch[2] = OnionUpdate::build(&params(9), &keys, &mut rng).encode();
+            let err = hops[0].mix_round(&batch).unwrap_err();
+            assert_eq!(hops[0].memory_stats().allocated, 0);
+            (err.to_string(), hops[0].stats().updates_rejected)
+        };
+        let sequential = run(1);
+        assert!(sequential.0.contains("mixed onion depths"));
+        for workers in [2, 4] {
+            assert_eq!(sequential, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shared_round_core_matches_mix_round_bit_for_bit() {
+        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let batch = onions(&hops, 5, &mut rng);
+
+        // Pre-draw the plan from a cloned stream, run the &self core…
+        let mut plan_rng = hops[0].rng_clone();
+        let plan = hops[0].draw_plan(5, &mut plan_rng).unwrap();
+        let (shared_out, shared_plan, delta) = hops[0].mix_round_shared(&batch, plan, 4).unwrap();
+        assert_eq!(hops[0].memory_stats().allocated, 0);
+        assert_eq!(delta.updates_received, 5);
+        assert_eq!(delta.updates_forwarded, 5);
+
+        // …and the &mut path must produce exactly the same round.
+        let (out, plan) = hops[0].mix_round(&batch).unwrap();
+        assert_eq!(shared_out, out);
+        assert_eq!(shared_plan, plan);
     }
 
     #[test]

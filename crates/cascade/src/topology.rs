@@ -244,7 +244,9 @@ impl CascadeTopology for StratifiedLayout {
 /// client's mixing group is only the clients that drew the **exact same
 /// route**, and a client with a unique route mixes with nobody — its
 /// route alone identifies it, no hop compromise needed. The topology
-/// experiment (`eval topology`) records exactly this distribution.
+/// experiment (`eval topology`) records exactly this distribution, and
+/// [`FreeRoute::with_min_group_size`] restores a group-size floor by
+/// bucketing clients into a bounded route codebook.
 ///
 /// # Examples
 ///
@@ -267,6 +269,10 @@ pub struct FreeRoute {
     min_hops: usize,
     max_hops: usize,
     seed: u64,
+    /// `Some(b)`: clients are bucketed into a codebook of at most `b`
+    /// distinct routes (`slot % b` picks the bucket), restoring a
+    /// minimum-group-size floor.
+    codebook: Option<usize>,
 }
 
 impl FreeRoute {
@@ -287,7 +293,52 @@ impl FreeRoute {
             min_hops,
             max_hops,
             seed,
+            codebook: None,
         }
+    }
+
+    /// Restores a **privacy floor** to the free-route layout: clients are
+    /// assigned round-robin (`slot % b`) over a bounded codebook of
+    /// `b = ⌊clients / k⌋` seeded routes, so a round of `clients` slots
+    /// puts at least `⌊clients / b⌋ ≥ k` clients on every route — no
+    /// client is ever alone on a route it can be fingerprinted by. Rounds
+    /// of a different size `C` still get a floor of `⌊C / b⌋`. Codebook
+    /// entries that coincidentally draw the same route only merge their
+    /// buckets, which raises group sizes further.
+    ///
+    /// Routes stay pure functions of the slot (the coordinator, the
+    /// participants and the auditor all recompute them), which is why the
+    /// intended round size must be named here: a per-slot function cannot
+    /// know the round size at routing time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= clients` — a configuration bug, not a
+    /// runtime condition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mixnn_cascade::{route_groups, FreeRoute};
+    ///
+    /// let floored = FreeRoute::new(4, 1, 4, 55).with_min_group_size(4, 16);
+    /// let groups = route_groups(&floored, 16).unwrap();
+    /// assert!(groups.iter().all(|g| g.slots.len() >= 4));
+    /// ```
+    pub fn with_min_group_size(self, k: usize, clients: usize) -> Self {
+        assert!(
+            k >= 1 && k <= clients,
+            "group floor must satisfy 1 <= {k} <= {clients}"
+        );
+        FreeRoute {
+            codebook: Some((clients / k).max(1)),
+            ..self
+        }
+    }
+
+    /// The codebook bound (`None` for the unconstrained layout).
+    pub fn codebook_routes(&self) -> Option<usize> {
+        self.codebook
     }
 }
 
@@ -301,7 +352,14 @@ impl CascadeTopology for FreeRoute {
     }
 
     fn route(&self, client_slot: usize) -> Vec<usize> {
-        let mut rng = StdRng::seed_from_u64(shard_seed(self.seed ^ 0xf8ee, client_slot));
+        // Under a codebook, every slot of a bucket draws the bucket's
+        // route — i.e. the route slot `slot % b` would have drawn in the
+        // unconstrained layout.
+        let key = match self.codebook {
+            Some(b) => client_slot % b,
+            None => client_slot,
+        };
+        let mut rng = StdRng::seed_from_u64(shard_seed(self.seed ^ 0xf8ee, key));
         let len = rng.gen_range(self.min_hops..=self.max_hops);
         let mut pool: Vec<usize> = (0..self.hops).collect();
         pool.shuffle(&mut rng);
@@ -546,6 +604,47 @@ mod tests {
     #[should_panic(expected = "route lengths")]
     fn free_route_rejects_bad_bounds() {
         let _ = FreeRoute::new(3, 2, 5, 0);
+    }
+
+    #[test]
+    fn min_group_size_floor_holds_at_the_named_round_size() {
+        for (clients, k) in [(16, 4), (16, 3), (17, 4), (10, 7), (12, 1)] {
+            let floored = FreeRoute::new(4, 1, 4, 55).with_min_group_size(k, clients);
+            let groups = route_groups(&floored, clients).unwrap();
+            let covered: usize = groups.iter().map(|g| g.slots.len()).sum();
+            assert_eq!(covered, clients);
+            for g in &groups {
+                assert!(
+                    g.slots.len() >= k,
+                    "clients={clients} k={k}: group {:?} is below the floor",
+                    g.slots
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codebook_routes_are_valid_deterministic_and_bounded() {
+        let floored = FreeRoute::new(5, 2, 4, 23).with_min_group_size(4, 32);
+        assert_eq!(floored.codebook_routes(), Some(8));
+        let mut distinct = std::collections::BTreeSet::new();
+        for slot in 0..64 {
+            let route = floored.route(slot);
+            validate_route(&route, 5).unwrap();
+            assert_eq!(route, floored.route(slot));
+            // Round-robin bucketing: slot and slot + b share a route.
+            assert_eq!(route, floored.route(slot + 8));
+            distinct.insert(route);
+        }
+        assert!(distinct.len() <= 8, "codebook must bound distinct routes");
+        // The unconstrained layout keeps its original behaviour.
+        assert_eq!(FreeRoute::new(5, 2, 4, 23).codebook_routes(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "group floor")]
+    fn min_group_size_rejects_bad_floor() {
+        let _ = FreeRoute::new(4, 1, 4, 0).with_min_group_size(9, 8);
     }
 
     #[test]

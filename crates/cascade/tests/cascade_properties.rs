@@ -11,12 +11,17 @@
 //!   the partial round that traversed it;
 //! * both still hold when an intermediate hop dies of EPC exhaustion
 //!   mid-round under the skip policy (the surviving chain carries the
-//!   round).
+//!   round);
+//! * **every parallelism knob is a pure throughput knob**: round outputs,
+//!   audits, `unmix` results and stats counters are bit-identical across
+//!   `ingest_workers`, `group_workers` and `pipeline_depth` — including
+//!   when an EPC-starved intermediate hop forces the skip path.
 
 use mixnn_cascade::{
-    CascadeConfig, CascadeCoordinator, CascadeHopConfig, CascadeTopology, FailurePolicy, FreeRoute,
-    LinearChain, StratifiedLayout,
+    CascadeConfig, CascadeCoordinator, CascadeHopConfig, CascadeRound, CascadeTopology,
+    FailurePolicy, FreeRoute, LinearChain, StratifiedLayout,
 };
+use mixnn_core::Parallelism;
 use mixnn_enclave::{AttestationService, EnclaveConfig};
 use mixnn_nn::{LayerParams, ModelParams};
 use proptest::prelude::*;
@@ -43,6 +48,85 @@ fn round_updates(clients: usize, layers: usize, seed: u64) -> Vec<ModelParams> {
             )
         })
         .collect()
+}
+
+fn layout_for(kind: usize, hops: usize, clients: usize, seed: u64) -> Box<dyn CascadeTopology> {
+    match kind {
+        0 => Box::new(LinearChain::new(hops)),
+        1 => Box::new(StratifiedLayout::evenly(
+            hops,
+            1 + (seed as usize % hops),
+            seed,
+        )),
+        2 => Box::new(FreeRoute::new(hops, 1, hops, seed)),
+        _ => Box::new(FreeRoute::new(hops, 1, hops, seed).with_min_group_size(2, clients.max(2))),
+    }
+}
+
+/// The worker-invariant observables of a cascade after some rounds: the
+/// rounds themselves (outputs, audits, chains, skip events), the caller's
+/// RNG position, the skip state, and every hop's stats counters (the
+/// `*_seconds` fields are wall-clock and excluded by design).
+type Observed = (
+    Vec<CascadeRound>,
+    u64,
+    Vec<usize>,
+    Vec<(u64, u64, u64, u64, u64)>,
+);
+
+fn observe(
+    topology: Box<dyn CascadeTopology>,
+    parallelism: Parallelism,
+    policy: FailurePolicy,
+    dead_hop: Option<usize>,
+    rounds: &[Vec<ModelParams>],
+    layers: usize,
+    seed: u64,
+) -> Observed {
+    let hops = topology.num_hops();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xcafe);
+    let service = AttestationService::new(&mut rng);
+    let mut hop_configs: Vec<CascadeHopConfig> = (0..hops)
+        .map(|i| CascadeHopConfig {
+            seed: seed ^ ((i as u64) << 4),
+            ..CascadeHopConfig::default()
+        })
+        .collect();
+    if let Some(dead) = dead_hop {
+        hop_configs[dead].enclave = EnclaveConfig {
+            epc_limit: 4,
+            code_identity: mixnn_cascade::HOP_CODE_IDENTITY.to_vec(),
+            allow_paging: false,
+        };
+    }
+    let mut cascade = CascadeCoordinator::launch(
+        CascadeConfig {
+            expected_signature: signature(layers),
+            hops: hop_configs,
+            policy,
+            parallelism,
+        },
+        topology,
+        &service,
+        &mut rng,
+    )
+    .expect("valid configuration");
+    cascade.set_parallelism(parallelism);
+    let out = cascade.run_rounds(rounds, &mut rng).expect("rounds run");
+    let counters = cascade
+        .hop_stats()
+        .iter()
+        .map(|s| {
+            (
+                s.updates_received,
+                s.updates_forwarded,
+                s.updates_rejected,
+                s.bytes_received,
+                s.bytes_rejected,
+            )
+        })
+        .collect();
+    (out, rng.gen::<u64>(), cascade.skipped_hops(), counters)
 }
 
 proptest! {
@@ -166,6 +250,7 @@ proptest! {
                 expected_signature: signature(layers),
                 hops: hop_configs,
                 policy: FailurePolicy::Skip,
+                parallelism: mixnn_core::Parallelism::sequential(),
             },
             Box::new(LinearChain::new(hops)),
             &service,
@@ -187,6 +272,100 @@ proptest! {
         );
         // And the dead hop leaked nothing.
         prop_assert_eq!(cascade.hops()[dead].memory_stats().allocated, 0);
+    }
+
+    #[test]
+    fn outputs_are_invariant_to_every_parallelism_knob(
+        hops in 1usize..5,
+        kind in 0usize..4,
+        clients in 3usize..9,
+        layers in 1usize..4,
+        ingest_workers in 1usize..5,
+        group_workers in 1usize..5,
+        pipeline_depth in 1usize..5,
+        rounds in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let batch: Vec<Vec<ModelParams>> = (0..rounds)
+            .map(|r| round_updates(clients, layers, seed ^ (r as u64) << 9))
+            .collect();
+        let sequential = observe(
+            layout_for(kind, hops, clients, seed),
+            Parallelism::sequential(),
+            FailurePolicy::Abort,
+            None,
+            &batch,
+            layers,
+            seed,
+        );
+        let parallel = observe(
+            layout_for(kind, hops, clients, seed),
+            Parallelism {
+                ingest_workers,
+                group_workers,
+                pipeline_depth,
+                ..Parallelism::sequential()
+            },
+            FailurePolicy::Abort,
+            None,
+            &batch,
+            layers,
+            seed,
+        );
+        prop_assert_eq!(&sequential, &parallel);
+        // And the audits stay honest: unmix restores every round.
+        for (r, round) in sequential.0.iter().enumerate() {
+            prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &batch[r]);
+        }
+    }
+
+    #[test]
+    fn epc_exhaustion_skip_path_is_parallelism_invariant(
+        hops in 2usize..5,
+        dead in 1usize..4,
+        clients in 3usize..8,
+        layers in 1usize..4,
+        ingest_workers in 2usize..5,
+        group_workers in 2usize..5,
+        pipeline_depth in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        // An EPC-starved intermediate hop forces the optimistic concurrent
+        // paths to discard themselves mid-flight; the fallback must land on
+        // exactly the sequential skip outcome — outputs, skip events, RNG
+        // position and counters alike.
+        let dead = dead.min(hops - 1);
+        let batch: Vec<Vec<ModelParams>> = (0..2)
+            .map(|r| round_updates(clients, layers, seed ^ (r as u64) << 9))
+            .collect();
+        let sequential = observe(
+            Box::new(LinearChain::new(hops)),
+            Parallelism::sequential(),
+            FailurePolicy::Skip,
+            Some(dead),
+            &batch,
+            layers,
+            seed,
+        );
+        prop_assert_eq!(&sequential.2, &vec![dead], "the starved hop must be skipped");
+        let parallel = observe(
+            Box::new(LinearChain::new(hops)),
+            Parallelism {
+                ingest_workers,
+                group_workers,
+                pipeline_depth,
+                ..Parallelism::sequential()
+            },
+            FailurePolicy::Skip,
+            Some(dead),
+            &batch,
+            layers,
+            seed,
+        );
+        prop_assert_eq!(&sequential, &parallel);
+        for (r, round) in sequential.0.iter().enumerate() {
+            prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &batch[r]);
+        }
     }
 }
 

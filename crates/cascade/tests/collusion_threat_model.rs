@@ -50,7 +50,7 @@ fn run_round(hops: usize, seed: u64) -> CascadeRound {
 }
 
 fn subset_report(round: &CascadeRound, mask: u32) -> CollusionReport {
-    let plans = round.audit.plans();
+    let plans = round.audit.plans().expect("linear rounds are uniform");
     let views: Vec<Option<&MixPlan>> = (0..plans.len())
         .map(|h| (mask & (1 << h) != 0).then_some(&plans[h]))
         .collect();
@@ -180,6 +180,36 @@ fn routed_adversary_links_exactly_the_covered_routes() {
             }
         }
     }
+}
+
+#[test]
+fn min_group_size_codebook_restores_the_anonymity_floor() {
+    // The unconstrained free-route layout fingerprints unique-route
+    // clients with zero collusion (BENCH_topology.json measured 10 of 16
+    // at 4 hops). The bounded route codebook must restore a floor of k —
+    // asserted here through the adversary's own arithmetic.
+    const K: usize = 4;
+    let unconstrained = run_routed_round(Box::new(FreeRoute::new(4, 1, 4, 55)), 55);
+    let baseline =
+        analyze_routed_collusion(&routed_views(&unconstrained, &[]), CLIENTS, SIGNATURE.len());
+    assert!(
+        baseline.per_client_anonymity.iter().any(|&a| a < K),
+        "baseline layout should exhibit the floor violation being fixed"
+    );
+
+    let floored = FreeRoute::new(4, 1, 4, 55).with_min_group_size(K, CLIENTS);
+    let round = run_routed_round(Box::new(floored), 55);
+    let report = analyze_routed_collusion(&routed_views(&round, &[]), CLIENTS, SIGNATURE.len());
+    assert!(report.colluding_hops.is_empty());
+    assert_eq!(report.linkable_fraction, 0.0, "zero collusion links nobody");
+    for (slot, &anonymity) in report.per_client_anonymity.iter().enumerate() {
+        assert!(
+            anonymity >= K,
+            "client {slot} anonymity {anonymity} below the floor {K}"
+        );
+    }
+    // Utility is untouched, exactly as for every other layout.
+    assert_eq!(round.audit.unmix(&round.mixed).unwrap().len(), CLIENTS);
 }
 
 #[test]

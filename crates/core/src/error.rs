@@ -62,14 +62,6 @@ impl From<EnclaveError> for ProxyError {
     }
 }
 
-impl From<ProxyError> for mixnn_fl::FlError {
-    fn from(e: ProxyError) -> Self {
-        mixnn_fl::FlError::Transport {
-            message: e.to_string(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,15 +72,8 @@ mod tests {
         assert!(e.source().is_some());
     }
 
-    #[test]
-    fn converts_to_fl_transport_error() {
-        let e = ProxyError::Codec {
-            reason: "truncated".to_string(),
-        };
-        let fl: mixnn_fl::FlError = e.into();
-        assert!(matches!(fl, mixnn_fl::FlError::Transport { .. }));
-        assert!(fl.to_string().contains("truncated"));
-    }
+    // The `From<ProxyError> for FlError` conversion moved to `mixnn_fl`
+    // (this crate can no longer depend on it); its test lives there.
 
     #[test]
     fn error_is_send_sync() {

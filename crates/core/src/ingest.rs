@@ -13,8 +13,8 @@
 //! updates, streaming emissions, buffered batch, eventual [`crate::MixPlan`]
 //! — is **bit-identical at every worker count** for a fixed proxy seed.
 
+use crate::parallel::{map_chunked, Parallelism};
 use crate::{MixnnProxy, ProxyError};
-use mixnn_fl::{map_chunked, Parallelism};
 use mixnn_nn::ModelParams;
 
 /// Fans the stateless half of ingest across worker threads, then commits

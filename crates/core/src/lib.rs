@@ -28,8 +28,12 @@
 //! * [`ParallelIngest`] — fans the stateless ingest stage across worker
 //!   threads (decryption dominates §6.5's budget and is per-update
 //!   independent), bit-identical to sequential ingest at any worker count;
-//! * [`MixnnTransport`] — plugs the proxy into the `mixnn-fl` round loop as
-//!   an [`mixnn_fl::UpdateTransport`];
+//! * [`Parallelism`] / [`map_chunked`] — the workspace's shared
+//!   concurrency core (worker knobs and the order-preserving bounded
+//!   worker pool), re-exported by `mixnn_fl` under its historical path;
+//! * [`MixnnTransport`] — plugs the proxy into the `mixnn-fl` round loop
+//!   (the `UpdateTransport` impl itself lives in `mixnn_fl`, which depends
+//!   on this crate);
 //! * [`codec`] — the serialized update wire format.
 //!
 //! # Quickstart
@@ -60,13 +64,13 @@ pub mod codec;
 mod error;
 mod ingest;
 mod mixer;
+mod parallel;
 mod proxy;
 mod transport;
 
 pub use error::ProxyError;
 pub use ingest::ParallelIngest;
 pub use mixer::{shard_seed, BatchMixer, MixPlan, MixingStrategy, StreamingMixer};
-// Re-exported so proxy configuration needs only this crate.
-pub use mixnn_fl::Parallelism;
+pub use parallel::{map_chunked, Parallelism};
 pub use proxy::{MixnnProxy, MixnnProxyConfig, ProxyStats, StagedUpdate};
 pub use transport::{MixnnTransport, TransportMode};

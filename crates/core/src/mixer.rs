@@ -28,9 +28,9 @@
 //! drawn from one serial stream, so the output is bit-identical at every
 //! shard count — including 1 — for a fixed seed.
 
+use crate::parallel::{map_chunked, Parallelism};
 use crate::ProxyError;
 use mixnn_enclave::ObliviousBuffer;
-use mixnn_fl::{map_chunked, Parallelism};
 use mixnn_nn::{LayerParams, ModelParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

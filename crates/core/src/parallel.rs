@@ -1,12 +1,19 @@
-//! Worker/shard counts for the concurrent pipeline.
+//! Worker/shard counts for the concurrent pipeline — the workspace's
+//! shared concurrency core.
 //!
 //! One struct threads every parallelism knob from the bench configs down
 //! through the simulation (`client_workers`), the proxy ingest front-end
-//! (`ingest_workers`) and the per-layer mixing shards (`mix_shards`).
-//! Every stage is engineered so that the *result* is independent of the
-//! worker count — parallelism is a throughput knob, never a semantics
-//! knob — which is what lets the determinism tests compare any worker
-//! count against the sequential path bit-for-bit.
+//! (`ingest_workers`), the per-layer mixing shards (`mix_shards`), the
+//! cascade coordinator's route-group pool (`group_workers`) and the
+//! cross-hop round pipeline (`pipeline_depth`). Every stage is engineered
+//! so that the *result* is independent of the worker count — parallelism
+//! is a throughput knob, never a semantics knob — which is what lets the
+//! determinism tests compare any worker count against the sequential path
+//! bit-for-bit.
+//!
+//! This module lives in `mixnn-core` so both the proxy pipeline and the
+//! FL substrate can share it; `mixnn_fl` re-exports [`Parallelism`] and
+//! [`map_chunked`] under their historical paths for compatibility.
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// # Example
 ///
 /// ```
-/// use mixnn_fl::Parallelism;
+/// use mixnn_core::Parallelism;
 ///
 /// let seq = Parallelism::sequential();
 /// assert_eq!(seq, Parallelism::default());
@@ -26,15 +33,25 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(par.ingest_workers, 4);
 /// assert_eq!(par.mix_shards, 4);
 /// assert_eq!(par.client_workers, 4);
+/// assert_eq!(par.group_workers, 4);
+/// assert_eq!(par.pipeline_depth, 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Parallelism {
-    /// Threads decrypting/decoding sealed updates in the proxy front-end.
+    /// Threads decrypting/decoding sealed updates in the proxy front-end
+    /// (and, in the cascade, unwrapping a hop's onion envelopes).
     pub ingest_workers: usize,
     /// Per-layer shard tasks used when applying a mixing plan.
     pub mix_shards: usize,
     /// Threads running per-client local training inside a round.
     pub client_workers: usize,
+    /// Threads driving independent cascade route groups through their
+    /// hops concurrently (groups share no envelopes by construction).
+    pub group_workers: usize,
+    /// Rounds a cascade pipeline keeps in flight at once: with depth `d`,
+    /// hop `i + 1` can be mixing round `r` while hop `i` ingests round
+    /// `r + 1`. `1` disables cross-round pipelining.
+    pub pipeline_depth: usize,
 }
 
 impl Default for Parallelism {
@@ -51,6 +68,8 @@ impl Parallelism {
             ingest_workers: 1,
             mix_shards: 1,
             client_workers: 1,
+            group_workers: 1,
+            pipeline_depth: 1,
         }
     }
 
@@ -60,6 +79,8 @@ impl Parallelism {
             ingest_workers: workers,
             mix_shards: workers,
             client_workers: workers,
+            group_workers: workers,
+            pipeline_depth: workers,
         }
     }
 
@@ -132,6 +153,8 @@ mod tests {
         assert!(p.ingest_workers >= 1);
         assert!(p.mix_shards >= 1);
         assert!(p.client_workers >= 1);
+        assert!(p.group_workers >= 1);
+        assert!(p.pipeline_depth >= 1);
     }
 
     #[test]

@@ -16,10 +16,10 @@
 //!    sequential one.
 
 use crate::mixer::check_common_signature;
+use crate::parallel::Parallelism;
 use crate::{codec, BatchMixer, MixPlan, MixingStrategy, ProxyError, StreamingMixer};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
-use mixnn_fl::Parallelism;
 use mixnn_nn::ModelParams;
 use rand::Rng;
 use std::time::Instant;
@@ -85,6 +85,24 @@ pub struct ProxyStats {
 }
 
 impl ProxyStats {
+    /// Adds another record into this one, field by field.
+    ///
+    /// Concurrent pipelines (the cascade's staged hop ingest and its
+    /// route-group pool) accumulate per-stage deltas off to the side and
+    /// merge them in a canonical order, so the counters stay identical to
+    /// the sequential path at every worker count (the `*_seconds` fields
+    /// are wall-clock and never deterministic).
+    pub fn absorb(&mut self, other: &ProxyStats) {
+        self.updates_received += other.updates_received;
+        self.updates_forwarded += other.updates_forwarded;
+        self.updates_rejected += other.updates_rejected;
+        self.bytes_received += other.bytes_received;
+        self.bytes_rejected += other.bytes_rejected;
+        self.decrypt_seconds += other.decrypt_seconds;
+        self.store_seconds += other.store_seconds;
+        self.mix_seconds += other.mix_seconds;
+    }
+
     /// Mean per-update decryption time in seconds.
     pub fn mean_decrypt_seconds(&self) -> f64 {
         if self.updates_received == 0 {

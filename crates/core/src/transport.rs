@@ -2,7 +2,6 @@
 
 use crate::{codec, MixingStrategy, MixnnProxy, ParallelIngest, ProxyError};
 use mixnn_crypto::SealedBox;
-use mixnn_fl::{FlError, ModelUpdate, UpdateTransport};
 use mixnn_nn::ModelParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,12 +19,13 @@ pub enum TransportMode {
     Plaintext,
 }
 
-/// An [`UpdateTransport`] that routes each round's updates through a
-/// [`MixnnProxy`].
+/// Routes each round's updates through a [`MixnnProxy`].
 ///
-/// The observed updates keep the **slot ids** of the incoming ones (the
-/// server still sees one connection per participant slot); their *contents*
-/// are the mixed updates. With batch mixing this is exactly the paper's
+/// In the federated loop this serves as an `UpdateTransport` (the trait
+/// impl lives in `mixnn_fl`, which depends on this crate): the observed
+/// updates keep the **slot ids** of the incoming ones (the server still
+/// sees one connection per participant slot); their *contents* are the
+/// mixed updates. With batch mixing this is exactly the paper's
 /// deployment: the server receives C updates it cannot attribute.
 ///
 /// # Example
@@ -69,10 +69,17 @@ impl MixnnTransport {
         self.mode
     }
 
-    fn relay_inner(&mut self, updates: Vec<ModelUpdate>) -> Result<Vec<ModelUpdate>, ProxyError> {
-        let slot_ids: Vec<usize> = updates.iter().map(|u| u.client_id).collect();
-        let params: Vec<ModelParams> = updates.into_iter().map(|u| u.params).collect();
-
+    /// Runs one proxy round over plain parameters, returning the mixed
+    /// updates in slot order — the transport core `mixnn_fl`'s
+    /// `UpdateTransport` impl (and any other caller) builds on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the proxy's rejection of any update in the round.
+    pub fn relay_round(
+        &mut self,
+        params: Vec<ModelParams>,
+    ) -> Result<Vec<ModelParams>, ProxyError> {
         let mixed: Vec<ModelParams> = match self.mode {
             TransportMode::Plaintext => self.proxy.mix_plaintext_round(params)?,
             TransportMode::Encrypted => {
@@ -110,21 +117,7 @@ impl MixnnTransport {
             }
         };
 
-        Ok(slot_ids
-            .into_iter()
-            .zip(mixed)
-            .map(|(slot, params)| ModelUpdate::new(slot, params))
-            .collect())
-    }
-}
-
-impl UpdateTransport for MixnnTransport {
-    fn label(&self) -> &str {
-        "mixnn"
-    }
-
-    fn relay(&mut self, updates: Vec<ModelUpdate>) -> Result<Vec<ModelUpdate>, FlError> {
-        self.relay_inner(updates).map_err(FlError::from)
+        Ok(mixed)
     }
 }
 
@@ -135,16 +128,17 @@ mod tests {
     use mixnn_enclave::AttestationService;
     use mixnn_nn::LayerParams;
 
-    fn updates(c: usize) -> Vec<ModelUpdate> {
+    // Slot preservation and the `UpdateTransport` impl itself are covered
+    // in `mixnn_fl::transport` (which hosts the impl); these tests pin the
+    // round core.
+
+    fn updates(c: usize) -> Vec<ModelParams> {
         (0..c)
             .map(|i| {
-                ModelUpdate::new(
-                    i,
-                    ModelParams::from_layers(vec![
-                        LayerParams::from_values(vec![i as f32; 2]),
-                        LayerParams::from_values(vec![-(i as f32); 3]),
-                    ]),
-                )
+                ModelParams::from_layers(vec![
+                    LayerParams::from_values(vec![i as f32; 2]),
+                    LayerParams::from_values(vec![-(i as f32); 3]),
+                ])
             })
             .collect()
     }
@@ -166,59 +160,38 @@ mod tests {
     }
 
     #[test]
-    fn encrypted_batch_preserves_aggregate_and_slots() {
+    fn encrypted_batch_preserves_aggregate_and_count() {
         let mut t = transport(MixingStrategy::Batch, TransportMode::Encrypted);
         let ins = updates(6);
-        let outs = t.relay(ins.clone()).unwrap();
+        let outs = t.relay_round(ins.clone()).unwrap();
         assert_eq!(outs.len(), 6);
-        // Slots preserved in order.
-        let in_slots: Vec<usize> = ins.iter().map(|u| u.client_id).collect();
-        let out_slots: Vec<usize> = outs.iter().map(|u| u.client_id).collect();
-        assert_eq!(in_slots, out_slots);
-        // Aggregate identical.
-        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
-        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
-        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&outs));
     }
 
     #[test]
     fn plaintext_mode_matches_aggregate_too() {
         let mut t = transport(MixingStrategy::Batch, TransportMode::Plaintext);
         let ins = updates(5);
-        let outs = t.relay(ins.clone()).unwrap();
-        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
-        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
-        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+        let outs = t.relay_round(ins.clone()).unwrap();
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&outs));
     }
 
     #[test]
     fn streaming_round_conserves_count() {
         let mut t = transport(MixingStrategy::Streaming { k: 2 }, TransportMode::Encrypted);
         let ins = updates(7);
-        let outs = t.relay(ins.clone()).unwrap();
+        let outs = t.relay_round(ins.clone()).unwrap();
         assert_eq!(outs.len(), 7);
-        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
-        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
         // Multiset conservation implies the mean is preserved.
-        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+        assert_eq!(ModelParams::mean(&ins), ModelParams::mean(&outs));
     }
 
     #[test]
     fn updates_are_actually_mixed() {
         let mut t = transport(MixingStrategy::Batch, TransportMode::Encrypted);
         let ins = updates(8);
-        let outs = t.relay(ins.clone()).unwrap();
-        let changed = ins
-            .iter()
-            .zip(&outs)
-            .filter(|(a, b)| a.params != b.params)
-            .count();
+        let outs = t.relay_round(ins.clone()).unwrap();
+        let changed = ins.iter().zip(&outs).filter(|(a, b)| a != b).count();
         assert!(changed > 0, "no update changed content after mixing");
-    }
-
-    #[test]
-    fn label_is_mixnn() {
-        let t = transport(MixingStrategy::Batch, TransportMode::Plaintext);
-        assert_eq!(t.label(), "mixnn");
     }
 }

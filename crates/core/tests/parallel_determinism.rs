@@ -70,7 +70,7 @@ fn batch_round(
     let parallelism = Parallelism {
         ingest_workers: workers,
         mix_shards: shards,
-        client_workers: 1,
+        ..Parallelism::sequential()
     };
     let mut proxy = launch(MixingStrategy::Batch, layers, seed, parallelism);
     let sealed = sealed_round(&proxy, clients, layers, seed);
@@ -97,7 +97,7 @@ fn streaming_round(
     let parallelism = Parallelism {
         ingest_workers: workers,
         mix_shards: shards,
-        client_workers: 1,
+        ..Parallelism::sequential()
     };
     let mut proxy = launch(MixingStrategy::Streaming { k }, layers, seed, parallelism);
     let sealed = sealed_round(&proxy, clients, layers, seed);

@@ -85,6 +85,14 @@ impl From<DataError> for FlError {
     }
 }
 
+impl From<mixnn_core::ProxyError> for FlError {
+    fn from(e: mixnn_core::ProxyError) -> Self {
+        FlError::Transport {
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +107,13 @@ mod tests {
         assert!(e.source().is_some());
         let e: FlError = DataError::IndexOutOfRange { index: 1, len: 0 }.into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn proxy_errors_convert_to_transport_failures() {
+        let e: FlError = mixnn_core::ProxyError::InsufficientUpdates { have: 0, need: 1 }.into();
+        assert!(matches!(e, FlError::Transport { .. }));
+        assert!(e.to_string().contains("needs 1 updates"));
     }
 
     #[test]

@@ -13,7 +13,9 @@ use rand::SeedableRng;
 /// * [`DirectTransport`] — classic FL: the server sees each participant's
 ///   exact update, attributed to its sender;
 /// * [`NoisyTransport`] — the noisy-gradient baseline (local DP style);
-/// * `MixnnTransport` (in `mixnn-core`) — the paper's proxy.
+/// * [`mixnn_core::MixnnTransport`] — the paper's proxy (the struct lives
+///   in `mixnn-core`; its `UpdateTransport` impl lives below, because this
+///   crate owns the trait and depends on the proxy crate).
 pub trait UpdateTransport: std::fmt::Debug {
     /// Short name for experiment output (e.g. `"classic-fl"`).
     fn label(&self) -> &str;
@@ -97,6 +99,23 @@ impl UpdateTransport for NoisyTransport {
     }
 }
 
+impl UpdateTransport for mixnn_core::MixnnTransport {
+    fn label(&self) -> &str {
+        "mixnn"
+    }
+
+    fn relay(&mut self, updates: Vec<ModelUpdate>) -> Result<Vec<ModelUpdate>, FlError> {
+        let slot_ids: Vec<usize> = updates.iter().map(|u| u.client_id).collect();
+        let params = updates.into_iter().map(|u| u.params).collect();
+        let mixed = self.relay_round(params).map_err(FlError::from)?;
+        Ok(slot_ids
+            .into_iter()
+            .zip(mixed)
+            .map(|(slot, params)| ModelUpdate::new(slot, params))
+            .collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +169,47 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_sigma_panics() {
         let _ = NoisyTransport::new(-1.0, 0);
+    }
+
+    fn mixnn_transport() -> mixnn_core::MixnnTransport {
+        use mixnn_core::{MixnnProxy, MixnnProxyConfig, TransportMode};
+        use rand::rngs::StdRng;
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let service = mixnn_enclave::AttestationService::new(&mut rng);
+        let proxy = MixnnProxy::launch(
+            MixnnProxyConfig {
+                expected_signature: vec![2, 3],
+                seed: 3,
+                ..MixnnProxyConfig::default()
+            },
+            &service,
+            &mut rng,
+        );
+        mixnn_core::MixnnTransport::new(proxy, TransportMode::Encrypted, 77)
+    }
+
+    #[test]
+    fn mixnn_transport_preserves_slots_and_aggregate() {
+        let mut t = mixnn_transport();
+        assert_eq!(t.label(), "mixnn");
+        let ins: Vec<ModelUpdate> = (0..6)
+            .map(|i| {
+                ModelUpdate::new(
+                    i,
+                    ModelParams::from_layers(vec![
+                        LayerParams::from_values(vec![i as f32; 2]),
+                        LayerParams::from_values(vec![-(i as f32); 3]),
+                    ]),
+                )
+            })
+            .collect();
+        let outs = t.relay(ins.clone()).unwrap();
+        let in_slots: Vec<usize> = ins.iter().map(|u| u.client_id).collect();
+        let out_slots: Vec<usize> = outs.iter().map(|u| u.client_id).collect();
+        assert_eq!(in_slots, out_slots);
+        let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
+        let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
+        assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
     }
 }

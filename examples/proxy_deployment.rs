@@ -108,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "aggregate bit-identical to classic FL; audit inverted all {} per-hop plans\n\
          (outside the audit, linking requires ALL hops to collude — see `eval cascade`)",
-        round.audit.plans().len()
+        round.audit.plans()?.len()
     );
 
     // --- Failure handling: a tampered onion ------------------------------
@@ -156,6 +156,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 expected_signature: signature.clone(),
                 hops: hop_configs,
                 policy,
+                parallelism: mixnn::proxy::Parallelism::sequential(),
             },
             Box::new(LinearChain::new(hops)),
             &service,
