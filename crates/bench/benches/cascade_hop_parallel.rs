@@ -51,7 +51,7 @@ fn sealed_onions(hop: &CascadeHop, clients: usize, rng: &mut StdRng) -> Vec<Vec<
                     })
                     .collect(),
             );
-            OnionUpdate::build(&params, &keys, rng).encode()
+            OnionUpdate::build(&params, &keys, rng).unwrap().encode()
         })
         .collect()
 }

@@ -53,7 +53,7 @@ fn sealed_round(proxy: &MixnnProxy, clients: usize, rng: &mut StdRng) -> Vec<Vec
                     })
                     .collect(),
             );
-            SealedBox::seal(&codec::encode_params(&params), proxy.public_key(), rng)
+            SealedBox::seal(&codec::encode_params(&params), proxy.public_key(), rng).unwrap()
         })
         .collect()
 }

@@ -56,7 +56,7 @@ fn bench_decrypt_store(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(scalars), &scalars, |b, _| {
             let mut rng = StdRng::seed_from_u64(2);
             let mut proxy = launch_proxy(params.signature(), &mut rng);
-            let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng);
+            let sealed = SealedBox::seal(&bytes, proxy.public_key(), &mut rng).unwrap();
             b.iter(|| {
                 proxy.submit_encrypted(&sealed).unwrap();
                 // Drain so the buffer (and EPC accounting) stays flat.

@@ -92,7 +92,7 @@ pub fn run(setup: &ExperimentSetup, clients: usize) -> Result<Vec<SysperfRow>, A
             .map(|_| {
                 let params = base.perturbed(0.01, &mut rng);
                 let bytes = codec::encode_params(&params);
-                SealedBox::seal(&bytes, proxy.public_key(), &mut rng)
+                SealedBox::seal(&bytes, proxy.public_key(), &mut rng).unwrap()
             })
             .collect();
         let update_bytes = codec::encoded_len(&template.signature());

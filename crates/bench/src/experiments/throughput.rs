@@ -117,6 +117,7 @@ pub fn run(
                     reference.public_key(),
                     &mut seal_rng,
                 )
+                .expect("enclave keys are never low-order")
             })
             .collect();
 

@@ -73,8 +73,18 @@ impl CascadeClient {
     /// Onion-encrypts one model update for the chain and frames it for the
     /// first hop: one sealed envelope per (hop, layer), innermost for the
     /// last hop.
-    pub fn seal_update<R: Rng + ?Sized>(&self, params: &ModelParams, rng: &mut R) -> Vec<u8> {
-        OnionUpdate::build(params, &self.hop_keys, rng).encode()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Seal`] if a hop key is low-order (attested
+    /// keys never are, but [`CascadeClient::from_keys`] accepts arbitrary
+    /// ones).
+    pub fn seal_update<R: Rng + ?Sized>(
+        &self,
+        params: &ModelParams,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, CascadeError> {
+        Ok(OnionUpdate::build(params, &self.hop_keys, rng)?.encode())
     }
 }
 
@@ -152,6 +162,7 @@ mod tests {
             .map(|n| {
                 CascadeClient::from_keys(keys[..n].to_vec())
                     .seal_update(&params, &mut rng)
+                    .unwrap()
                     .len()
             })
             .collect();

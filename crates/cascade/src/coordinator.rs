@@ -705,7 +705,11 @@ impl CascadeCoordinator {
                 group
                     .slots
                     .iter()
-                    .map(|&s| client.seal_update(&updates[s], rng))
+                    .map(|&s| {
+                        client
+                            .seal_update(&updates[s], rng)
+                            .expect("attested hop keys are never low-order")
+                    })
                     .collect()
             })
             .collect()

@@ -1,4 +1,5 @@
 use mixnn_core::ProxyError;
+use mixnn_crypto::CryptoError;
 use std::error::Error;
 use std::fmt;
 
@@ -23,6 +24,13 @@ pub enum CascadeError {
     Attestation {
         /// Index of the unverifiable hop.
         hop: usize,
+    },
+    /// Sealing an onion envelope to a hop key failed — the key is
+    /// low-order or otherwise unusable, so encrypting to it would leak the
+    /// update.
+    Seal {
+        /// The underlying crypto failure.
+        source: CryptoError,
     },
     /// Every hop of the cascade has been skipped; there is no chain left
     /// to route through.
@@ -69,6 +77,9 @@ impl fmt::Display for CascadeError {
             CascadeError::Attestation { hop } => {
                 write!(f, "hop {hop} failed attestation; refusing to encrypt to it")
             }
+            CascadeError::Seal { source } => {
+                write!(f, "refusing to seal to an unusable hop key: {source}")
+            }
             CascadeError::NoActiveHops => write!(f, "no active hops left in the cascade"),
             CascadeError::EmptyRound => write!(f, "cascade round started with no updates"),
             CascadeError::SignatureMismatch { expected, actual } => write!(
@@ -90,6 +101,7 @@ impl Error for CascadeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CascadeError::Hop { source, .. } => Some(source),
+            CascadeError::Seal { source } => Some(source),
             _ => None,
         }
     }

@@ -260,16 +260,26 @@ impl CascadeHop {
         let store_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
+        // Open all L envelopes of this onion in one batched pass (the
+        // X25519 schedule and field inversion are shared across layers),
+        // then replay each layer's EPC operations in the order the
+        // sequential per-layer loop performed them: transient decrypt
+        // charge, then the persistent charge for the unwrapped blob.
+        let sealed_layers = onion.into_layers();
+        let opened = self.enclave.open_batch(&sealed_layers);
         let mut charged = 0usize;
         let mut blobs = Vec::with_capacity(self.layers);
-        for sealed in onion.into_layers() {
-            let unwrapped = self.enclave.decrypt(&sealed).and_then(|inner| {
-                // Charge the unwrapped blob while it waits in a mixing
-                // list (the transient decrypt buffer was charged and
-                // released inside `decrypt`).
-                self.enclave.memory().allocate(inner.len())?;
-                Ok(inner)
-            });
+        for (sealed, opened) in sealed_layers.iter().zip(opened) {
+            let unwrapped = self
+                .enclave
+                .charge_opened(sealed.len(), opened)
+                .and_then(|inner| {
+                    // Charge the unwrapped blob while it waits in a mixing
+                    // list (the transient decrypt buffer was charged and
+                    // released inside `charge_opened`).
+                    self.enclave.memory().allocate(inner.len())?;
+                    Ok(inner)
+                });
             match unwrapped {
                 Ok(inner) => {
                     charged += inner.len();
@@ -570,7 +580,7 @@ mod tests {
     fn onions(hops: &[CascadeHop], c: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
         let keys: Vec<PublicKey> = hops.iter().map(|h| *h.public_key()).collect();
         (0..c)
-            .map(|i| OnionUpdate::build(&params(i), &keys, rng).encode())
+            .map(|i| OnionUpdate::build(&params(i), &keys, rng).unwrap().encode())
             .collect()
     }
 
@@ -656,7 +666,11 @@ mod tests {
         );
         let keys = [*hop.public_key()];
         let batch: Vec<Vec<u8>> = (0..4)
-            .map(|i| OnionUpdate::build(&params(i), &keys, &mut rng).encode())
+            .map(|i| {
+                OnionUpdate::build(&params(i), &keys, &mut rng)
+                    .unwrap()
+                    .encode()
+            })
             .collect();
         let err = hop.mix_round(&batch).unwrap_err();
         assert!(matches!(
@@ -726,7 +740,11 @@ mod tests {
             );
             let keys = [*hop.public_key()];
             let batch: Vec<Vec<u8>> = (0..6)
-                .map(|i| OnionUpdate::build(&params(i), &keys, &mut rng).encode())
+                .map(|i| {
+                    OnionUpdate::build(&params(i), &keys, &mut rng)
+                        .unwrap()
+                        .encode()
+                })
                 .collect();
             let err = hop.mix_round(&batch).unwrap_err();
             assert_eq!(hop.memory_stats().allocated, 0, "workers={workers}");
@@ -757,7 +775,9 @@ mod tests {
             let mut batch = onions(&hops, 4, &mut rng);
             // Onion 2 sealed for a single hop: depth 1 among depth-2 peers.
             let keys = [*hops[0].public_key()];
-            batch[2] = OnionUpdate::build(&params(9), &keys, &mut rng).encode();
+            batch[2] = OnionUpdate::build(&params(9), &keys, &mut rng)
+                .unwrap()
+                .encode();
             let err = hops[0].mix_round(&batch).unwrap_err();
             assert_eq!(hops[0].memory_stats().allocated, 0);
             (err.to_string(), hops[0].stats().updates_rejected)

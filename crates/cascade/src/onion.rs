@@ -55,6 +55,11 @@ impl OnionUpdate {
     /// Builds a fresh onion for `params`, sealed to the given chain of hop
     /// keys (first key = first hop to receive the message).
     ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Seal`] if any hop key is low-order — sealing
+    /// to it would yield an attacker-predictable envelope key.
+    ///
     /// # Panics
     ///
     /// Panics if `hop_keys` is empty or longer than 255 hops — a
@@ -63,7 +68,7 @@ impl OnionUpdate {
         params: &ModelParams,
         hop_keys: &[PublicKey],
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, CascadeError> {
         assert!(!hop_keys.is_empty(), "onion needs at least one hop key");
         assert!(hop_keys.len() <= u8::MAX as usize, "chain too long");
         let layers = params
@@ -71,15 +76,16 @@ impl OnionUpdate {
             .map(|layer| {
                 let mut blob = codec::encode_layer(layer);
                 for key in hop_keys.iter().rev() {
-                    blob = SealedBox::seal(&blob, key, rng);
+                    blob = SealedBox::seal(&blob, key, rng)
+                        .map_err(|source| CascadeError::Seal { source })?;
                 }
-                blob
+                Ok(blob)
             })
-            .collect();
-        OnionUpdate {
+            .collect::<Result<_, CascadeError>>()?;
+        Ok(OnionUpdate {
             hops_remaining: hop_keys.len() as u8,
             layers,
-        }
+        })
     }
 
     /// Reassembles an onion from already-processed parts (a hop re-framing
@@ -241,7 +247,7 @@ mod tests {
         let keys: Vec<KeyPair> = (0..3).map(|_| KeyPair::generate(&mut rng)).collect();
         let publics: Vec<PublicKey> = keys.iter().map(|k| *k.public()).collect();
         let p = params();
-        let onion = OnionUpdate::build(&p, &publics, &mut rng);
+        let onion = OnionUpdate::build(&p, &publics, &mut rng).unwrap();
         assert_eq!(onion.hops_remaining(), 3);
         assert_eq!(onion.num_layers(), 2);
 
@@ -261,7 +267,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let keys: Vec<KeyPair> = (0..2).map(|_| KeyPair::generate(&mut rng)).collect();
         let publics: Vec<PublicKey> = keys.iter().map(|k| *k.public()).collect();
-        let onion = OnionUpdate::build(&params(), &publics, &mut rng);
+        let onion = OnionUpdate::build(&params(), &publics, &mut rng).unwrap();
         // The second hop's key cannot open the outermost envelope.
         assert!(SealedBox::open(&onion.layers()[0], &keys[1]).is_err());
     }
@@ -270,7 +276,7 @@ mod tests {
     fn wire_round_trip() {
         let mut rng = StdRng::seed_from_u64(3);
         let kp = KeyPair::generate(&mut rng);
-        let onion = OnionUpdate::build(&params(), &[*kp.public()], &mut rng);
+        let onion = OnionUpdate::build(&params(), &[*kp.public()], &mut rng).unwrap();
         let decoded = OnionUpdate::decode(&onion.encode()).unwrap();
         assert_eq!(decoded, onion);
     }
@@ -279,7 +285,9 @@ mod tests {
     fn truncation_anywhere_is_rejected() {
         let mut rng = StdRng::seed_from_u64(4);
         let kp = KeyPair::generate(&mut rng);
-        let bytes = OnionUpdate::build(&params(), &[*kp.public()], &mut rng).encode();
+        let bytes = OnionUpdate::build(&params(), &[*kp.public()], &mut rng)
+            .unwrap()
+            .encode();
         for cut in 0..bytes.len() {
             assert!(
                 OnionUpdate::decode(&bytes[..cut]).is_err(),
@@ -292,7 +300,9 @@ mod tests {
     fn bad_magic_version_and_trailing_are_rejected() {
         let mut rng = StdRng::seed_from_u64(5);
         let kp = KeyPair::generate(&mut rng);
-        let good = OnionUpdate::build(&params(), &[*kp.public()], &mut rng).encode();
+        let good = OnionUpdate::build(&params(), &[*kp.public()], &mut rng)
+            .unwrap()
+            .encode();
 
         let mut bad = good.clone();
         bad[0] ^= 0xff;
@@ -331,7 +341,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let kp = KeyPair::generate(&mut rng);
         let p = params();
-        let wrapped = OnionUpdate::build(&p, &[*kp.public()], &mut rng);
+        let wrapped = OnionUpdate::build(&p, &[*kp.public()], &mut rng).unwrap();
         assert!(matches!(
             wrapped.clone().into_params(&p.signature()),
             Err(CascadeError::Onion { .. })

@@ -13,7 +13,7 @@
 //! updates, streaming emissions, buffered batch, eventual [`crate::MixPlan`]
 //! — is **bit-identical at every worker count** for a fixed proxy seed.
 
-use crate::parallel::{map_chunked, Parallelism};
+use crate::parallel::{map_chunked_batched, Parallelism};
 use crate::{MixnnProxy, ProxyError};
 use mixnn_nn::ModelParams;
 
@@ -39,7 +39,7 @@ use mixnn_nn::ModelParams;
 /// let sealed: Vec<Vec<u8>> = (0..4)
 ///     .map(|i| {
 ///         let p = ModelParams::from_layers(vec![LayerParams::from_values(vec![i as f32; 2])]);
-///         SealedBox::seal(&codec::encode_params(&p), proxy.public_key(), &mut rng)
+///         SealedBox::seal(&codec::encode_params(&p), proxy.public_key(), &mut rng).unwrap()
 ///     })
 ///     .collect();
 /// let results = ParallelIngest::new(4).submit_all(&mut proxy, &sealed);
@@ -113,7 +113,10 @@ impl ParallelIngest {
             }
             let mut staged: Vec<Option<Result<crate::StagedUpdate, ProxyError>>> = {
                 let shared: &MixnnProxy = proxy;
-                map_chunked(chunk, self.workers, |s| shared.ingest_stage(s))
+                // Each worker opens its whole sub-chunk through the batched
+                // sealed-box kernels — one X25519 pass per worker instead
+                // of one per update.
+                map_chunked_batched(chunk, self.workers, |sub| shared.ingest_stage_batch(sub))
                     .into_iter()
                     .map(Some)
                     .collect()
@@ -188,7 +191,7 @@ mod tests {
                     LayerParams::from_values(vec![i as f32; 2]),
                     LayerParams::from_values(vec![-(i as f32); 4]),
                 ]);
-                SealedBox::seal(&codec::encode_params(&p), proxy.public_key(), rng)
+                SealedBox::seal(&codec::encode_params(&p), proxy.public_key(), rng).unwrap()
             })
             .collect()
     }

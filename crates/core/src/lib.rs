@@ -71,6 +71,6 @@ mod transport;
 pub use error::ProxyError;
 pub use ingest::ParallelIngest;
 pub use mixer::{shard_seed, BatchMixer, MixPlan, MixingStrategy, StreamingMixer};
-pub use parallel::{map_chunked, Parallelism};
+pub use parallel::{map_chunked, map_chunked_batched, Parallelism};
 pub use proxy::{MixnnProxy, MixnnProxyConfig, ProxyStats, StagedUpdate};
 pub use transport::{MixnnTransport, TransportMode};

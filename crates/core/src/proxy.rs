@@ -359,9 +359,46 @@ impl MixnnProxy {
         let t0 = Instant::now();
         let plaintext = self.enclave.decrypt(sealed)?;
         let decrypt_seconds = t0.elapsed().as_secs_f64();
+        self.stage_plaintext(&plaintext, decrypt_seconds)
+    }
 
+    /// Batched stage 1: opens every sealed update with the enclave's
+    /// batched kernels (one X25519 pass over the whole batch), then stages
+    /// each plaintext in submission order.
+    ///
+    /// Element-wise equivalent to calling [`MixnnProxy::ingest_stage`] on
+    /// each update: the EPC operations of each item — transient decrypt
+    /// charge, then footprint allocation — are replayed in the same
+    /// per-item order, so accept/reject patterns under tight budgets match
+    /// the sequential path exactly. Each result must still go through
+    /// [`MixnnProxy::commit_staged`].
+    pub fn ingest_stage_batch<T: AsRef<[u8]>>(
+        &self,
+        sealed: &[T],
+    ) -> Vec<Result<StagedUpdate, ProxyError>> {
+        let t0 = Instant::now();
+        let opened = self.enclave.open_batch(sealed);
+        // The batch shares one decryption pass; attribute it evenly.
+        let decrypt_seconds = t0.elapsed().as_secs_f64() / sealed.len().max(1) as f64;
+        opened
+            .into_iter()
+            .zip(sealed)
+            .map(|(opened, sealed)| {
+                let plaintext = self.enclave.charge_opened(sealed.as_ref().len(), opened)?;
+                self.stage_plaintext(&plaintext, decrypt_seconds)
+            })
+            .collect()
+    }
+
+    /// Decode + validate + footprint-charge shared by the scalar and
+    /// batched stage-1 paths.
+    fn stage_plaintext(
+        &self,
+        plaintext: &[u8],
+        decrypt_seconds: f64,
+    ) -> Result<StagedUpdate, ProxyError> {
         let t1 = Instant::now();
-        let params = codec::decode_params(&plaintext)?;
+        let params = codec::decode_params(plaintext)?;
         if !self.signature.is_empty() && params.signature() != self.signature {
             return Err(ProxyError::SignatureMismatch {
                 expected: self.signature.clone(),
@@ -575,7 +612,7 @@ mod tests {
     }
 
     fn seal(proxy: &MixnnProxy, p: &ModelParams, rng: &mut StdRng) -> Vec<u8> {
-        SealedBox::seal(&codec::encode_params(p), proxy.public_key(), rng)
+        SealedBox::seal(&codec::encode_params(p), proxy.public_key(), rng).unwrap()
     }
 
     #[test]

@@ -96,6 +96,7 @@ impl MixnnTransport {
                             self.proxy.public_key(),
                             &mut self.participant_rng,
                         )
+                        .expect("attested enclave keys are never low-order")
                     })
                     .collect();
                 let ingest = ParallelIngest::from_parallelism(self.proxy.parallelism());

@@ -53,7 +53,7 @@ fn sealed_round(proxy: &MixnnProxy, clients: usize, layers: usize, seed: u64) ->
                     })
                     .collect(),
             );
-            SealedBox::seal(&codec::encode_params(&params), proxy.public_key(), &mut rng)
+            SealedBox::seal(&codec::encode_params(&params), proxy.public_key(), &mut rng).unwrap()
         })
         .collect()
 }

@@ -17,6 +17,11 @@ pub enum CryptoError {
     /// A public key or scalar was structurally invalid (e.g. the all-zero
     /// shared secret produced by a low-order point).
     InvalidKey,
+    /// The X25519 exchange produced the all-zero shared secret: the peer
+    /// point was low-order, so the "shared" secret would be attacker-
+    /// predictable. Rejected per the RFC 7748 §6.1 contributory-behavior
+    /// check.
+    LowOrderPoint,
 }
 
 impl fmt::Display for CryptoError {
@@ -27,6 +32,9 @@ impl fmt::Display for CryptoError {
                 write!(f, "invalid input length: expected {expected}, got {actual}")
             }
             CryptoError::InvalidKey => write!(f, "invalid key material"),
+            CryptoError::LowOrderPoint => {
+                write!(f, "low-order point: X25519 shared secret is all zero")
+            }
         }
     }
 }
@@ -46,6 +54,7 @@ mod tests {
                 actual: 31,
             },
             CryptoError::InvalidKey,
+            CryptoError::LowOrderPoint,
         ] {
             let s = e.to_string();
             assert!(s.chars().next().unwrap().is_lowercase());

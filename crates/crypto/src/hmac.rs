@@ -3,14 +3,85 @@
 //! HMAC authenticates sealed-box ciphertexts (encrypt-then-MAC); HKDF
 //! derives the per-message ChaCha20 key and nonce from the X25519 shared
 //! secret. Validated against the RFC 4231 and RFC 5869 test vectors.
+//!
+//! [`HmacKey`] is the reusable form: the ipad/opad key blocks are
+//! absorbed into two hasher states once at construction, so every MAC
+//! under the same key (HKDF-Expand's block loop, the sealed box's three
+//! derivations per envelope) skips two compressions — half the total for
+//! the short messages HKDF feeds it.
 
 use crate::sha256::{digest, Sha256, DIGEST_LEN};
 
 const BLOCK_LEN: usize = 64;
 
+/// A precomputed HMAC-SHA256 key schedule.
+///
+/// Holds the inner and outer hasher states with their ipad/opad key
+/// blocks already compressed; [`HmacKey::mac`] clones them instead of
+/// re-deriving the key block per call.
+///
+/// # Example
+///
+/// ```
+/// use mixnn_crypto::hmac::{hmac_sha256, HmacKey};
+///
+/// let key = HmacKey::new(b"key");
+/// assert_eq!(key.mac(b"message"), hmac_sha256(b"key", b"message"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacKey {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacKey {
+    /// Builds the schedule for `key`. Keys longer than the SHA-256 block
+    /// size are hashed first, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..DIGEST_LEN].copy_from_slice(&digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Computes `HMAC-SHA256(key, message)`.
+    pub fn mac(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        self.mac_parts(&[message])
+    }
+
+    /// MACs the concatenation of `parts` without materializing it — the
+    /// sealed box authenticates `eph_pub ‖ ciphertext` this way.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+        let mut inner = self.inner.clone();
+        for part in parts {
+            inner.update(part);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
 /// Computes `HMAC-SHA256(key, message)`.
 ///
 /// Keys longer than the SHA-256 block size are hashed first, per RFC 2104.
+/// For repeated MACs under one key, build an [`HmacKey`] instead.
 ///
 /// # Example
 ///
@@ -19,29 +90,7 @@ const BLOCK_LEN: usize = 64;
 /// assert_eq!(tag.len(), 32);
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
-    let mut key_block = [0u8; BLOCK_LEN];
-    if key.len() > BLOCK_LEN {
-        key_block[..DIGEST_LEN].copy_from_slice(&digest(key));
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-
-    let mut ipad = [0x36u8; BLOCK_LEN];
-    let mut opad = [0x5cu8; BLOCK_LEN];
-    for i in 0..BLOCK_LEN {
-        ipad[i] ^= key_block[i];
-        opad[i] ^= key_block[i];
-    }
-
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
-
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    HmacKey::new(key).mac(message)
 }
 
 /// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
@@ -63,19 +112,28 @@ pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// Panics if `len > 255 * 32` (the RFC 5869 limit — a programming error for
 /// our fixed-size derivations).
 pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand_keyed(&HmacKey::new(prk), info, len)
+}
+
+/// HKDF-Expand with a prebuilt PRK schedule, so several expansions from
+/// one extract (the sealed box derives three) share the key setup.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32`, as [`hkdf_expand`] does.
+pub fn hkdf_expand_keyed(prk: &HmacKey, info: &[u8], len: usize) -> Vec<u8> {
     assert!(len <= 255 * DIGEST_LEN, "hkdf output too long");
     let mut okm = Vec::with_capacity(len);
-    let mut t: Vec<u8> = Vec::new();
+    let mut t: Option<[u8; DIGEST_LEN]> = None;
     let mut counter = 1u8;
     while okm.len() < len {
-        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
-        msg.extend_from_slice(&t);
-        msg.extend_from_slice(info);
-        msg.push(counter);
-        let block = hmac_sha256(prk, &msg);
+        let block = match &t {
+            Some(prev) => prk.mac_parts(&[prev, info, &[counter]]),
+            None => prk.mac_parts(&[info, &[counter]]),
+        };
         let take = (len - okm.len()).min(DIGEST_LEN);
         okm.extend_from_slice(&block[..take]);
-        t = block.to_vec();
+        t = Some(block);
         counter = counter.checked_add(1).expect("hkdf counter overflow");
     }
     okm
@@ -185,6 +243,28 @@ mod tests {
         let short = hkdf(b"salt", b"ikm", b"info", 5);
         assert_eq!(short.len(), 5);
         assert_eq!(&okm[..5], &short[..]);
+    }
+
+    /// The precomputed schedule must agree with from-scratch HMAC across
+    /// key-length classes (short, block-size, hashed-down) and split
+    /// messages.
+    #[test]
+    fn hmac_key_matches_one_shot() {
+        let message: Vec<u8> = (0..150u8).collect();
+        for key_len in [0usize, 1, 32, 63, 64, 65, 131] {
+            let key = vec![0xc3u8; key_len];
+            let schedule = HmacKey::new(&key);
+            assert_eq!(
+                schedule.mac(&message),
+                hmac_sha256(&key, &message),
+                "key len {key_len}"
+            );
+            assert_eq!(
+                schedule.mac_parts(&[&message[..70], &message[70..], &[]]),
+                hmac_sha256(&key, &message),
+                "key len {key_len} (parts)"
+            );
+        }
     }
 
     #[test]

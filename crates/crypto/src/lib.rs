@@ -16,6 +16,34 @@
 //! module's tests, so measured decryption costs in the §6.5 benches are
 //! representative of a real deployment.
 //!
+//! # The batched hot path
+//!
+//! Decryption dominates the proxy's per-round cost (§6.5), so the stack
+//! is built as batched kernels behind the scalar APIs — each one
+//! bit-identical to the scalar definition and pinned by the same RFC/FIPS
+//! vectors:
+//!
+//! * SHA-256 compresses all full blocks of an `update` in one multi-block
+//!   call and dispatches at runtime to the x86-64 SHA-NI kernel when the
+//!   CPU has it ([`sha256`]);
+//! * HMAC keys precompute their ipad/opad schedule once
+//!   ([`hmac::HmacKey`]), and the sealed box derives its three keys with
+//!   a single HKDF-Extract plus three expands per envelope;
+//! * ChaCha20 generates four keystream blocks per widened quarter-round
+//!   pass on buffers ≥ 256 B ([`chacha20`]);
+//! * [`sealed_box::SealedBox::open_batch`] opens a round's envelopes
+//!   together, sharing the X25519 bit schedule and one Montgomery-trick
+//!   field inversion across the batch ([`x25519::x25519_batch`]).
+//!
+//! # Contributory behavior
+//!
+//! X25519 maps low-order peer points to the all-zero shared secret. The
+//! sealed box rejects that secret on both ends
+//! ([`CryptoError::LowOrderPoint`], RFC 7748 §6.1), so a malicious
+//! participant cannot force predictable envelope keys, and the ChaCha20
+//! block counter panics instead of wrapping (keystream reuse) after 256
+//! GiB under one key/nonce.
+//!
 //! # Security caveat
 //!
 //! This is a **research reproduction**: the algorithms are the real ones and

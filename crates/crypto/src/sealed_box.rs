@@ -13,9 +13,21 @@
 //!    `eph_pub ‖ ciphertext` (encrypt-then-MAC).
 //!
 //! Wire layout: `eph_pub (32) ‖ tag (32) ‖ ciphertext`.
+//!
+//! Two properties worth calling out:
+//!
+//! * **Contributory behavior** (RFC 7748 §6.1): a low-order peer point
+//!   makes the X25519 output all-zero, and every key above would be
+//!   attacker-predictable. Both [`SealedBox::seal`] and
+//!   [`SealedBox::open`] reject the all-zero shared secret with
+//!   [`CryptoError::LowOrderPoint`].
+//! * **Batched opening**: [`SealedBox::open_batch`] opens many envelopes
+//!   addressed to one recipient, sharing the X25519 bit schedule and the
+//!   final field inversion across the batch ([`x25519::x25519_batch`]).
+//!   Results are bit-identical to per-envelope [`SealedBox::open`].
 
 use crate::chacha20;
-use crate::hmac::{hkdf, hmac_sha256};
+use crate::hmac::{hkdf_expand_keyed, hkdf_extract, HmacKey};
 use crate::x25519;
 use crate::CryptoError;
 use rand::Rng;
@@ -122,7 +134,7 @@ const INFO_MAC: &[u8] = b"mixnn sealed box v1 mac";
 /// # fn main() -> Result<(), mixnn_crypto::CryptoError> {
 /// let mut rng = StdRng::seed_from_u64(7);
 /// let enclave = KeyPair::generate(&mut rng);
-/// let boxed = SealedBox::seal(b"model update", enclave.public(), &mut rng);
+/// let boxed = SealedBox::seal(b"model update", enclave.public(), &mut rng)?;
 /// let plain = SealedBox::open(&boxed, &enclave)?;
 /// assert_eq!(plain, b"model update");
 /// # Ok(())
@@ -139,12 +151,18 @@ struct DerivedKeys {
 
 impl SealedBox {
     fn derive(shared: &[u8; 32], eph_pub: &[u8; 32], recipient_pub: &[u8; 32]) -> DerivedKeys {
-        let mut salt = Vec::with_capacity(64);
-        salt.extend_from_slice(eph_pub);
-        salt.extend_from_slice(recipient_pub);
-        let key = hkdf(&salt, shared, INFO_KEY, 32);
-        let nonce = hkdf(&salt, shared, INFO_NONCE, 12);
-        let mac = hkdf(&salt, shared, INFO_MAC, 32);
+        let mut salt = [0u8; 64];
+        salt[..32].copy_from_slice(eph_pub);
+        salt[32..].copy_from_slice(recipient_pub);
+        // One HKDF-Extract, three expands under a shared PRK schedule.
+        // The three derivations used to re-run Extract (and re-absorb the
+        // PRK's HMAC pads) each — identical output, three times the
+        // compressions.
+        let prk = hkdf_extract(&salt, shared);
+        let prk_key = HmacKey::new(&prk);
+        let key = hkdf_expand_keyed(&prk_key, INFO_KEY, 32);
+        let nonce = hkdf_expand_keyed(&prk_key, INFO_NONCE, 12);
+        let mac = hkdf_expand_keyed(&prk_key, INFO_MAC, 32);
         DerivedKeys {
             cipher_key: key.try_into().expect("hkdf returned 32 bytes"),
             nonce: nonce.try_into().expect("hkdf returned 12 bytes"),
@@ -154,33 +172,45 @@ impl SealedBox {
 
     /// Encrypts `plaintext` to `recipient`, drawing ephemeral key material
     /// from `rng`. The output is `OVERHEAD` bytes longer than the input.
-    pub fn seal<R: Rng + ?Sized>(plaintext: &[u8], recipient: &PublicKey, rng: &mut R) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::LowOrderPoint`] if `recipient` is a
+    /// low-order point (the RFC 7748 §6.1 contributory-behavior check) —
+    /// sealing to it would yield attacker-predictable keys.
+    pub fn seal<R: Rng + ?Sized>(
+        plaintext: &[u8],
+        recipient: &PublicKey,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, CryptoError> {
         let eph = KeyPair::generate(rng);
         let shared = x25519::x25519(eph.secret().as_bytes(), recipient.as_bytes());
+        if shared == [0u8; 32] {
+            return Err(CryptoError::LowOrderPoint);
+        }
         let keys = Self::derive(&shared, eph.public().as_bytes(), recipient.as_bytes());
 
         let mut ciphertext = plaintext.to_vec();
         chacha20::xor_keystream(&keys.cipher_key, &keys.nonce, 0, &mut ciphertext);
 
-        let mut mac_input = Vec::with_capacity(32 + ciphertext.len());
-        mac_input.extend_from_slice(eph.public().as_bytes());
-        mac_input.extend_from_slice(&ciphertext);
-        let tag = hmac_sha256(&keys.mac_key, &mac_input);
+        let tag = HmacKey::new(&keys.mac_key).mac_parts(&[eph.public().as_bytes(), &ciphertext]);
 
         let mut out = Vec::with_capacity(OVERHEAD + ciphertext.len());
         out.extend_from_slice(eph.public().as_bytes());
         out.extend_from_slice(&tag);
         out.extend_from_slice(&ciphertext);
-        out
+        Ok(out)
     }
 
     /// Decrypts a sealed box with the recipient's key pair.
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::BadLength`] if the message is shorter than the
-    /// header, or [`CryptoError::AuthenticationFailed`] if the tag does not
-    /// verify (wrong key, truncation, or tampering).
+    /// Returns [`CryptoError::BadLength`] if the message is shorter than
+    /// the header, [`CryptoError::LowOrderPoint`] if the sender's
+    /// ephemeral point is low-order (contributory-behavior check), or
+    /// [`CryptoError::AuthenticationFailed`] if the tag does not verify
+    /// (wrong key, truncation, or tampering).
     pub fn open(sealed: &[u8], recipient: &KeyPair) -> Result<Vec<u8>, CryptoError> {
         if sealed.len() < OVERHEAD {
             return Err(CryptoError::BadLength {
@@ -189,16 +219,72 @@ impl SealedBox {
             });
         }
         let eph_pub: [u8; 32] = sealed[..32].try_into().expect("length checked");
+        let shared = x25519::x25519(recipient.secret().as_bytes(), &eph_pub);
+        Self::open_with_shared(sealed, &shared, recipient)
+    }
+
+    /// Opens a batch of envelopes addressed to `recipient`, amortizing the
+    /// shared-secret derivation: one clamp and bit schedule for the whole
+    /// batch, and one field inversion shared across it
+    /// ([`x25519::x25519_batch`]).
+    ///
+    /// Returns one result per envelope, in input order, each **exactly**
+    /// what [`SealedBox::open`] would have returned for that envelope —
+    /// including every failure mode, mid-batch. A malformed or tampered
+    /// envelope affects only its own slot.
+    pub fn open_batch<T: AsRef<[u8]>>(
+        sealed: &[T],
+        recipient: &KeyPair,
+    ) -> Vec<Result<Vec<u8>, CryptoError>> {
+        // Undersized envelopes are rejected up front; only well-formed
+        // ones enter the batched ladder.
+        let mut results: Vec<Option<Result<Vec<u8>, CryptoError>>> = sealed
+            .iter()
+            .map(|s| {
+                let s = s.as_ref();
+                (s.len() < OVERHEAD).then_some(Err(CryptoError::BadLength {
+                    expected: "at least 64 bytes",
+                    actual: s.len(),
+                }))
+            })
+            .collect();
+        let eph_pubs: Vec<[u8; 32]> = sealed
+            .iter()
+            .zip(&results)
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(s, _)| s.as_ref()[..32].try_into().expect("length checked"))
+            .collect();
+        let shareds = x25519::x25519_batch(recipient.secret().as_bytes(), &eph_pubs);
+        let mut shareds = shareds.into_iter();
+        for (slot, s) in results.iter_mut().zip(sealed) {
+            if slot.is_none() {
+                let shared = shareds.next().expect("one shared secret per envelope");
+                *slot = Some(Self::open_with_shared(s.as_ref(), &shared, recipient));
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every envelope resolved"))
+            .collect()
+    }
+
+    /// The tail of [`SealedBox::open`] after the scalar multiplication:
+    /// contributory check, key derivation, tag verification, decryption.
+    /// `sealed` is already length-checked.
+    fn open_with_shared(
+        sealed: &[u8],
+        shared: &[u8; 32],
+        recipient: &KeyPair,
+    ) -> Result<Vec<u8>, CryptoError> {
+        if *shared == [0u8; 32] {
+            return Err(CryptoError::LowOrderPoint);
+        }
+        let eph_pub: [u8; 32] = sealed[..32].try_into().expect("length checked");
         let tag: [u8; 32] = sealed[32..64].try_into().expect("length checked");
         let ciphertext = &sealed[64..];
 
-        let shared = x25519::x25519(recipient.secret().as_bytes(), &eph_pub);
-        let keys = Self::derive(&shared, &eph_pub, recipient.public().as_bytes());
-
-        let mut mac_input = Vec::with_capacity(32 + ciphertext.len());
-        mac_input.extend_from_slice(&eph_pub);
-        mac_input.extend_from_slice(ciphertext);
-        let expected_tag = hmac_sha256(&keys.mac_key, &mac_input);
+        let keys = Self::derive(shared, &eph_pub, recipient.public().as_bytes());
+        let expected_tag = HmacKey::new(&keys.mac_key).mac_parts(&[&eph_pub, ciphertext]);
         if !crate::ct_eq(&expected_tag, &tag) {
             return Err(CryptoError::AuthenticationFailed);
         }
@@ -226,7 +312,7 @@ mod tests {
         let (kp, mut rng) = recipient();
         for len in [0usize, 1, 31, 32, 33, 1000, 10_000] {
             let msg: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
-            let sealed = SealedBox::seal(&msg, kp.public(), &mut rng);
+            let sealed = SealedBox::seal(&msg, kp.public(), &mut rng).unwrap();
             assert_eq!(sealed.len(), msg.len() + OVERHEAD);
             let opened = SealedBox::open(&sealed, &kp).unwrap();
             assert_eq!(opened, msg, "len {len}");
@@ -236,7 +322,7 @@ mod tests {
     #[test]
     fn tampering_is_detected() {
         let (kp, mut rng) = recipient();
-        let sealed = SealedBox::seal(b"secret update", kp.public(), &mut rng);
+        let sealed = SealedBox::seal(b"secret update", kp.public(), &mut rng).unwrap();
         for i in 0..sealed.len() {
             let mut bad = sealed.clone();
             bad[i] ^= 0x01;
@@ -251,7 +337,7 @@ mod tests {
     #[test]
     fn truncation_is_rejected() {
         let (kp, mut rng) = recipient();
-        let sealed = SealedBox::seal(b"msg", kp.public(), &mut rng);
+        let sealed = SealedBox::seal(b"msg", kp.public(), &mut rng).unwrap();
         assert!(matches!(
             SealedBox::open(&sealed[..10], &kp),
             Err(CryptoError::BadLength { .. })
@@ -267,7 +353,7 @@ mod tests {
     fn wrong_recipient_cannot_open() {
         let (kp, mut rng) = recipient();
         let other = KeyPair::generate(&mut rng);
-        let sealed = SealedBox::seal(b"for the enclave only", kp.public(), &mut rng);
+        let sealed = SealedBox::seal(b"for the enclave only", kp.public(), &mut rng).unwrap();
         assert_eq!(
             SealedBox::open(&sealed, &other),
             Err(CryptoError::AuthenticationFailed)
@@ -277,9 +363,80 @@ mod tests {
     #[test]
     fn sealing_is_randomized() {
         let (kp, mut rng) = recipient();
-        let a = SealedBox::seal(b"same message", kp.public(), &mut rng);
-        let b = SealedBox::seal(b"same message", kp.public(), &mut rng);
+        let a = SealedBox::seal(b"same message", kp.public(), &mut rng).unwrap();
+        let b = SealedBox::seal(b"same message", kp.public(), &mut rng).unwrap();
         assert_ne!(a, b, "ephemeral keys must differ");
+    }
+
+    #[test]
+    fn sealing_to_low_order_recipient_is_rejected() {
+        // u = 0 and u = 1 are low-order points on the Montgomery u-line:
+        // any clamped scalar (a multiple of 8) collapses them to the
+        // all-zero shared secret. RFC 7748 §6.1 contributory behavior.
+        let mut rng = StdRng::seed_from_u64(5);
+        for low_order in [[0u8; 32], {
+            let mut u = [0u8; 32];
+            u[0] = 1;
+            u
+        }] {
+            let bad = PublicKey::from_bytes(low_order);
+            assert_eq!(
+                SealedBox::seal(b"update", &bad, &mut rng),
+                Err(CryptoError::LowOrderPoint)
+            );
+        }
+    }
+
+    #[test]
+    fn opening_low_order_ephemeral_is_rejected() {
+        let (kp, _) = recipient();
+        for low_order in [[0u8; 32], {
+            let mut u = [0u8; 32];
+            u[0] = 1;
+            u
+        }] {
+            // Forge an envelope whose ephemeral point is low-order. Before
+            // the contributory check this would derive keys from the
+            // all-zero shared secret; now it must fail closed.
+            let mut forged = vec![0u8; OVERHEAD + 16];
+            forged[..32].copy_from_slice(&low_order);
+            assert_eq!(
+                SealedBox::open(&forged, &kp),
+                Err(CryptoError::LowOrderPoint)
+            );
+            assert_eq!(
+                SealedBox::open_batch(&[forged], &kp),
+                vec![Err(CryptoError::LowOrderPoint)]
+            );
+        }
+    }
+
+    #[test]
+    fn open_batch_matches_per_envelope_open() {
+        let (kp, mut rng) = recipient();
+        let mut batch: Vec<Vec<u8>> = (0..5u8)
+            .map(|i| {
+                SealedBox::seal(&vec![i; 10 * usize::from(i) + 1], kp.public(), &mut rng).unwrap()
+            })
+            .collect();
+        // Mix in every failure mode mid-batch: tampering, truncation
+        // below the header, and a low-order ephemeral point.
+        batch[1][40] ^= 0x80;
+        batch[2].truncate(63);
+        for b in &mut batch[3][..32] {
+            *b = 0;
+        }
+        let batched = SealedBox::open_batch(&batch, &kp);
+        assert_eq!(batched.len(), batch.len());
+        for (envelope, result) in batch.iter().zip(&batched) {
+            assert_eq!(*result, SealedBox::open(envelope, &kp));
+        }
+        assert!(batched[0].is_ok());
+        assert_eq!(batched[1], Err(CryptoError::AuthenticationFailed));
+        assert!(matches!(batched[2], Err(CryptoError::BadLength { .. })));
+        assert_eq!(batched[3], Err(CryptoError::LowOrderPoint));
+        assert!(batched[4].is_ok());
+        assert!(SealedBox::open_batch::<Vec<u8>>(&[], &kp).is_empty());
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! Used for the enclave's attestation measurement, HMAC, and HKDF key
 //! derivation. Incremental API plus a one-shot convenience function;
 //! validated against the FIPS/NIST short-message vectors.
+//!
+//! The compression function is multi-block: `update` feeds every full
+//! block of its input through one `compress_blocks` call, which
+//! dispatches at runtime to the SHA-NI (`sha` + `ssse3` + `sse4.1`)
+//! kernel when the CPU has it and to the portable scalar rounds
+//! otherwise. Both paths implement the same FIPS 180-4 function and are
+//! pinned by the same vectors, so the choice is invisible to callers.
 
 /// Output size of SHA-256 in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -75,11 +82,10 @@ impl Sha256 {
                 self.buffer_len = 0;
             }
         }
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        let full = input.len() - input.len() % 64;
+        if full > 0 {
+            compress_blocks(&mut self.state, &input[..full]);
+            input = &input[full..];
         }
         if !input.is_empty() {
             self.buffer[..input.len()].copy_from_slice(input);
@@ -126,6 +132,27 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        compress_blocks(&mut self.state, block);
+    }
+}
+
+/// Runs the SHA-256 compression function over `blocks` (whose length must
+/// be a multiple of 64), dispatching to the SHA-NI kernel when the CPU
+/// supports it.
+fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    #[cfg(target_arch = "x86_64")]
+    if shani::available() {
+        // SAFETY: `available` verified the sha/ssse3/sse4.1 CPU features
+        // at runtime.
+        unsafe { shani::compress_blocks(state, blocks) };
+        return;
+    }
+    compress_blocks_portable(state, blocks);
+}
+
+fn compress_blocks_portable(state: &mut [u32; 8], blocks: &[u8]) {
+    for block in blocks.chunks_exact(64) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -138,7 +165,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -159,14 +186,91 @@ impl Sha256 {
             b = a;
             a = temp1.wrapping_add(temp2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+}
+
+/// SHA-NI compression kernel (x86-64 `sha` extension), selected at runtime
+/// so the baseline build still runs everywhere.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::K;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Whether the running CPU has every feature the kernel needs.
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            is_x86_feature_detected!("sha")
+                && is_x86_feature_detected!("ssse3")
+                && is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified (e.g. via [`available`]) that the CPU
+    /// supports the `sha`, `ssse3` and `sse4.1` features. `blocks` must be
+    /// a multiple of 64 bytes long.
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+        // Big-endian message words → little-endian u32 lanes.
+        let mask = _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+
+        // Repack the linear state into the ABEF/CDGH register layout the
+        // sha256rnds2 instruction works on.
+        let dcba = _mm_loadu_si128(state.as_ptr().cast::<__m128i>());
+        let hgfe = _mm_loadu_si128(state.as_ptr().add(4).cast::<__m128i>());
+        let cdab = _mm_shuffle_epi32(dcba, 0xb1);
+        let efgh = _mm_shuffle_epi32(hgfe, 0x1b);
+        let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xf0);
+
+        for block in blocks.chunks_exact(64) {
+            let abef_save = abef;
+            let cdgh_save = cdgh;
+            let p = block.as_ptr();
+            // Four message-schedule vectors of four words each, updated in
+            // place: at round group `r` (rounds 4r..4r+4), `w[r % 4]` holds
+            // the current words and is overwritten with the words for
+            // round group `r + 4`.
+            let mut w = [
+                _mm_shuffle_epi8(_mm_loadu_si128(p.cast::<__m128i>()), mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(p.add(16).cast::<__m128i>()), mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(p.add(32).cast::<__m128i>()), mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(p.add(48).cast::<__m128i>()), mask),
+            ];
+            for r in 0..16 {
+                let k = _mm_loadu_si128(K.as_ptr().add(4 * r).cast::<__m128i>());
+                let wk = _mm_add_epi32(w[r & 3], k);
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0e));
+                if r < 12 {
+                    let across = _mm_alignr_epi8(w[(r + 3) & 3], w[(r + 2) & 3], 4);
+                    let partial = _mm_sha256msg1_epu32(w[r & 3], w[(r + 1) & 3]);
+                    w[r & 3] = _mm_sha256msg2_epu32(_mm_add_epi32(partial, across), w[(r + 3) & 3]);
+                }
+            }
+            abef = _mm_add_epi32(abef, abef_save);
+            cdgh = _mm_add_epi32(cdgh, cdgh_save);
+        }
+
+        // Unpack ABEF/CDGH back into the linear state.
+        let feba = _mm_shuffle_epi32(abef, 0x1b);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xb1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xf0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), dcba);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), hgfe);
     }
 }
 
@@ -243,6 +347,20 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), expected, "split at {split}");
+        }
+    }
+
+    /// Whatever kernel the dispatcher picked, it must agree with the
+    /// portable rounds on multi-block inputs of every residue class.
+    #[test]
+    fn dispatched_kernel_matches_portable() {
+        for blocks in [1usize, 2, 3, 4, 7] {
+            let data: Vec<u8> = (0..blocks * 64).map(|i| (i % 251) as u8).collect();
+            let mut fast = H0;
+            compress_blocks(&mut fast, &data);
+            let mut portable = H0;
+            compress_blocks_portable(&mut portable, &data);
+            assert_eq!(fast, portable, "{blocks} blocks");
         }
     }
 

@@ -6,6 +6,18 @@
 //! branch-free conditional swaps and radix-2⁵¹ field arithmetic
 //! (five 51-bit limbs, u128 intermediate products), validated against the
 //! RFC test vectors including the iterated-scalar-multiplication test.
+//!
+//! The field layer carries the performance: a dedicated `Fe::square`
+//! (10 wide multiplies instead of the generic 25) feeds both the ladder
+//! — whose per-bit step is square-heavy — and the addition-chain
+//! `Fe::invert` (254 squarings + 11 multiplications, down from the
+//! naive Fermat loop's 255 + 128). [`x25519_batch`] amortizes further:
+//! one fixed scalar against many points shares a single clamp and bit
+//! schedule, and Montgomery's trick folds the per-point final inversion
+//! into one inversion plus three multiplications per point. On AVX-512
+//! IFMA hosts the shared bit schedule also unlocks an eight-lane
+//! `vpmadd52` ladder kernel (the private `ifma` module), bit-identical
+//! to the scalar path.
 
 /// Length of scalars, points and shared secrets in bytes.
 pub const KEY_LEN: usize = 32;
@@ -150,8 +162,38 @@ impl Fe {
         Fe::carry(r)
     }
 
+    /// Dedicated squaring: the symmetric cross terms collapse 25 wide
+    /// multiplies to 10. Accepts the same limb bounds as [`Fe::mul`]
+    /// (up to 2⁵⁴): doubles stay below 2⁵⁵ and 19-folds below 2⁵⁹, so
+    /// every product is a single 64×64→128 multiply.
     fn square(&self) -> Fe {
-        self.mul(self)
+        let [a0, a1, a2, a3, a4] = self.0;
+        let d0 = a0 << 1;
+        let d1 = a1 << 1;
+        let n3 = a3 * 19;
+        let n4 = a4 * 19;
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+        Fe::carry([
+            m(a0, a0) + 2 * (m(a1, n4) + m(a2, n3)),
+            m(d0, a1) + 2 * m(a2, n4) + m(a3, n3),
+            m(d0, a2) + m(a1, a1) + 2 * m(a3, n4),
+            m(d0, a3) + m(d1, a2) + m(a4, n4),
+            m(d0, a4) + m(d1, a3) + m(a2, a2),
+        ])
+    }
+
+    /// `self` squared `n` times.
+    fn square_n(&self, n: u32) -> Fe {
+        let mut r = *self;
+        for _ in 0..n {
+            r = r.square();
+        }
+        r
+    }
+
+    /// Whether this element is zero mod p.
+    fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
     }
 
     fn mul_small(&self, s: u32) -> Fe {
@@ -202,19 +244,50 @@ impl Fe {
         }
     }
 
-    /// Multiplicative inverse via Fermat: `self^(p−2)`, p−2 = 2²⁵⁵ − 21.
+    /// Multiplicative inverse via Fermat: `self^(p−2)`, p−2 = 2²⁵⁵ − 21,
+    /// computed with the standard Curve25519 addition chain (254
+    /// squarings + 11 multiplications). `invert(0) = 0`, which the
+    /// ladder relies on for low-order inputs.
     fn invert(&self) -> Fe {
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xeb;
-        exp[31] = 0x7f;
-        let mut result = Fe::ONE;
-        for t in (0..255).rev() {
-            result = result.square();
-            if (exp[t / 8] >> (t % 8)) & 1 == 1 {
-                result = result.mul(self);
-            }
+        let z2 = self.square();
+        let z9 = z2.square_n(2).mul(self);
+        let z11 = z9.mul(&z2);
+        // Exponents below name the all-ones run length: p5 = z^(2⁵ − 1).
+        let p5 = z11.square().mul(&z9);
+        let p10 = p5.square_n(5).mul(&p5);
+        let p20 = p10.square_n(10).mul(&p10);
+        let p40 = p20.square_n(20).mul(&p20);
+        let p50 = p40.square_n(10).mul(&p10);
+        let p100 = p50.square_n(50).mul(&p50);
+        let p200 = p100.square_n(100).mul(&p100);
+        let p250 = p200.square_n(50).mul(&p50);
+        // 2²⁵⁵ − 32 + 11 = 2²⁵⁵ − 21.
+        p250.square_n(5).mul(&z11)
+    }
+}
+
+/// Montgomery's trick: inverts every nonzero element of `zs` in place
+/// with a single field inversion plus three multiplications per element.
+/// Zero entries stay zero, matching `invert(0) = 0` — so a low-order
+/// point that collapses the ladder to `z = 0` serializes to the same
+/// all-zero output on the batched path as on the scalar one.
+fn batch_invert(zs: &mut [Fe]) {
+    let mut acc = Fe::ONE;
+    let mut prefix = Vec::with_capacity(zs.len());
+    for z in zs.iter() {
+        prefix.push(acc);
+        if !z.is_zero() {
+            acc = acc.mul(z);
         }
-        result
+    }
+    let mut inv = acc.invert();
+    for (z, pre) in zs.iter_mut().zip(prefix).rev() {
+        if z.is_zero() {
+            continue;
+        }
+        let original = *z;
+        *z = inv.mul(&pre);
+        inv = inv.mul(&original);
     }
 }
 
@@ -248,6 +321,63 @@ fn clamp(scalar: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
 /// ```
 pub fn x25519(scalar: &[u8; KEY_LEN], point: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
     let k = clamp(scalar);
+    let (x2, z2) = ladder(&k, point);
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// Batched X25519: one (clamped-once) scalar against many points, as the
+/// sealed box uses it to derive a round's shared secrets from one
+/// recipient secret and many ephemeral points.
+///
+/// The per-point final inversion — the single most expensive field
+/// operation — is shared across the batch with Montgomery's trick
+/// (`batch_invert`). Outputs are bit-identical to calling [`x25519`]
+/// per point: the batched inverses are the same field elements, and
+/// serialization is canonical.
+///
+/// Note the batch inversion branches on which `z` coordinates are zero
+/// (public information once the all-zero outputs are rejected by the
+/// caller's contributory-behavior check); the per-point ladder itself
+/// stays branch-free in the scalar bits.
+pub fn x25519_batch(scalar: &[u8; KEY_LEN], points: &[[u8; KEY_LEN]]) -> Vec<[u8; KEY_LEN]> {
+    let k = clamp(scalar);
+    let mut xs = Vec::with_capacity(points.len());
+    let mut zs = Vec::with_capacity(points.len());
+    let mut rest = points;
+    // On AVX-512 IFMA hosts, run the shared-scalar ladder eight points at
+    // a time (padding a short final group with the base point — same pass
+    // cost, surplus lanes discarded). Tails too small to pay for a padded
+    // pass fall through to the scalar ladder below.
+    #[cfg(target_arch = "x86_64")]
+    if ifma::available() {
+        while rest.len() >= ifma::MIN_POINTS {
+            let n = rest.len().min(ifma::LANES);
+            let mut lanes = [BASEPOINT; ifma::LANES];
+            lanes[..n].copy_from_slice(&rest[..n]);
+            let out = unsafe { ifma::ladder8(&k, &lanes) };
+            for &(x2, z2) in out.iter().take(n) {
+                xs.push(x2);
+                zs.push(z2);
+            }
+            rest = &rest[n..];
+        }
+    }
+    for point in rest {
+        let (x2, z2) = ladder(&k, point);
+        xs.push(x2);
+        zs.push(z2);
+    }
+    batch_invert(&mut zs);
+    xs.iter()
+        .zip(&zs)
+        .map(|(x2, z2_inv)| x2.mul(z2_inv).to_bytes())
+        .collect()
+}
+
+/// The Montgomery ladder core: projective `(x, z)` of `k · point` for an
+/// already-clamped scalar, leaving the final inversion to the caller
+/// (immediate for [`x25519`], batched for [`x25519_batch`]).
+fn ladder(k: &[u8; KEY_LEN], point: &[u8; KEY_LEN]) -> (Fe, Fe) {
     let x1 = Fe::from_bytes(point);
     let mut x2 = Fe::ONE;
     let mut z2 = Fe::ZERO;
@@ -279,7 +409,250 @@ pub fn x25519(scalar: &[u8; KEY_LEN], point: &[u8; KEY_LEN]) -> [u8; KEY_LEN] {
     }
     Fe::cswap(swap, &mut x2, &mut x3);
     Fe::cswap(swap, &mut z2, &mut z3);
-    x2.mul(&z2.invert()).to_bytes()
+    (x2, z2)
+}
+
+/// AVX-512 IFMA eight-point Montgomery ladder.
+///
+/// [`x25519_batch`] runs one clamped scalar against many points, so the
+/// ladder's branch-free swap schedule is identical across points — eight
+/// of them fit the 512-bit `vpmadd52` lanes in lockstep. Lane field
+/// elements use radix-2⁴³ (six limbs): `vpmadd52` truncates operands to
+/// 52 bits, and the nine bits of headroom above a carried 43-bit limb let
+/// one add/sub level feed a multiplication directly — only multiply
+/// outputs are carried, mirroring the scalar radix-2⁵¹ discipline.
+///
+/// A position-`k` product splits at bit 52 (`vpmadd52lo`/`hi`); its high
+/// half lands at bit 9 of position `k + 1`. Positions ≥ 6 fold back by
+/// 2²⁵⁸ ≡ 8·19 = 152 (mod p). Lane outputs convert to the scalar [`Fe`]
+/// for the existing Montgomery-trick batched inversion, so serialization
+/// stays canonical and the results are bit-identical to the scalar path.
+#[cfg(target_arch = "x86_64")]
+mod ifma {
+    use super::{Fe, KEY_LEN};
+    use core::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Points processed per ladder pass.
+    pub const LANES: usize = 8;
+    /// Smallest batch worth a (padded) vector pass: one pass costs about
+    /// two scalar ladders, so below four real points the scalar loop wins.
+    pub const MIN_POINTS: usize = 4;
+
+    const MASK43: u64 = (1 << 43) - 1;
+    /// 2²⁵⁸ mod p = 8 · 19.
+    const FOLD: u64 = 152;
+    /// (486662 − 2) / 4, the ladder's `a24` constant.
+    const A24: u64 = 121_665;
+    /// 16p in radix-2⁴³: the subtraction bias. Every limb exceeds any
+    /// carried subtrahend limb (`< 2⁴³ + 2²⁷`), so lanes never underflow.
+    const SIXTEEN_P: [u64; 6] = [
+        (1 << 44) - 304,
+        (1 << 44) - 2,
+        (1 << 44) - 2,
+        (1 << 44) - 2,
+        (1 << 44) - 2,
+        (1 << 44) - 2,
+    ];
+
+    /// Whether the running CPU has the required AVX-512 subsets (cached).
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx512ifma")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+        })
+    }
+
+    /// Eight field elements in radix-2⁴³: register `i` holds limb `i` of
+    /// every lane.
+    #[derive(Clone, Copy)]
+    struct FeV([__m512i; 6]);
+
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn splat(v: u64) -> __m512i {
+        _mm512_set1_epi64(v as i64)
+    }
+
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn fev_splat(v: u64) -> FeV {
+        let mut r = FeV([_mm512_setzero_si512(); 6]);
+        r.0[0] = splat(v);
+        r
+    }
+
+    /// Limb-wise sum; inputs carried (`< 2⁴⁴`), output `< 2⁴⁵`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn add(a: &FeV, b: &FeV) -> FeV {
+        let mut r = *a;
+        for (r, b) in r.0.iter_mut().zip(&b.0) {
+            *r = _mm512_add_epi64(*r, *b);
+        }
+        r
+    }
+
+    /// `a − b`, biased by 16p to stay non-negative; output `< 2⁴⁶`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn sub(a: &FeV, b: &FeV) -> FeV {
+        let mut r = *a;
+        for ((r, b), &p) in r.0.iter_mut().zip(&b.0).zip(&SIXTEEN_P) {
+            *r = _mm512_sub_epi64(_mm512_add_epi64(*r, splat(p)), *b);
+        }
+        r
+    }
+
+    /// One radix-2⁴³ carry sweep with the 2²⁵⁸ ≡ 152 top fold. Accepts
+    /// limbs `< 2⁶³`; leaves limbs 1–5 `< 2⁴³` and limb 0 `< 2⁴³ + 2²⁷`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn carry(mut r: [__m512i; 6]) -> FeV {
+        let mask = splat(MASK43);
+        for k in 0..5 {
+            let c = _mm512_srli_epi64::<43>(r[k]);
+            r[k] = _mm512_and_si512(r[k], mask);
+            r[k + 1] = _mm512_add_epi64(r[k + 1], c);
+        }
+        let c = _mm512_srli_epi64::<43>(r[5]);
+        r[5] = _mm512_and_si512(r[5], mask);
+        r[0] = _mm512_add_epi64(r[0], _mm512_mullo_epi64(c, splat(FOLD)));
+        FeV(r)
+    }
+
+    /// Schoolbook product over `vpmadd52`. Operands up to 2⁴⁶ per limb:
+    /// low sums stay below 6·2⁵², shifted high sums below 6·2⁴⁹, and the
+    /// 152-fold keeps every accumulator below 2⁶³ for the carry sweep.
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn mul(a: &FeV, b: &FeV) -> FeV {
+        let zero = _mm512_setzero_si512();
+        let mut lo = [zero; 12];
+        let mut hi = [zero; 12];
+        for i in 0..6 {
+            for j in 0..6 {
+                lo[i + j] = _mm512_madd52lo_epu64(lo[i + j], a.0[i], b.0[j]);
+                hi[i + j + 1] = _mm512_madd52hi_epu64(hi[i + j + 1], a.0[i], b.0[j]);
+            }
+        }
+        let fold = splat(FOLD);
+        let mut r = [zero; 6];
+        for (k, r) in r.iter_mut().enumerate() {
+            let at = |p: usize| _mm512_add_epi64(lo[p], _mm512_slli_epi64::<9>(hi[p]));
+            *r = _mm512_add_epi64(at(k), _mm512_mullo_epi64(at(k + 6), fold));
+        }
+        carry(r)
+    }
+
+    /// Scalar multiple via `vpmullq` (a 43+17-bit product fits 64 bits).
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn mul_small(a: &FeV, s: u64) -> FeV {
+        let mut r = a.0;
+        for r in r.iter_mut() {
+            *r = _mm512_mullo_epi64(*r, splat(s));
+        }
+        carry(r)
+    }
+
+    /// Branch-free swap of all lanes at once — the scalar bit, and so the
+    /// mask, is shared by every lane.
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    unsafe fn cswap(mask: __m512i, a: &mut FeV, b: &mut FeV) {
+        for (a, b) in a.0.iter_mut().zip(b.0.iter_mut()) {
+            let t = _mm512_and_si512(mask, _mm512_xor_si512(*a, *b));
+            *a = _mm512_xor_si512(*a, t);
+            *b = _mm512_xor_si512(*b, t);
+        }
+    }
+
+    /// Parses a point into radix-2⁴³ limbs, dropping the top bit exactly
+    /// as [`Fe::from_bytes`] does (RFC 7748 §5).
+    fn point_limbs(p: &[u8; KEY_LEN]) -> [u64; 6] {
+        let load = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        [
+            load(&p[0..8]) & MASK43,
+            (load(&p[5..13]) >> 3) & MASK43,
+            (load(&p[10..18]) >> 6) & MASK43,
+            (load(&p[16..24]) >> 1) & MASK43,
+            (load(&p[21..29]) >> 4) & MASK43,
+            (load(&p[24..32]) >> 23) & ((1 << 40) - 1),
+        ]
+    }
+
+    /// Reassembles one lane's radix-2⁴³ limbs as a scalar radix-2⁵¹
+    /// [`Fe`]; `Fe::carry` absorbs the cross-radix spill.
+    fn fe_from_limbs(l: [u64; 6]) -> Fe {
+        let mut r = [0u128; 5];
+        for (k, &limb) in l.iter().enumerate() {
+            let bit = 43 * k;
+            r[bit / 51] += u128::from(limb) << (bit % 51);
+        }
+        Fe::carry(r)
+    }
+
+    /// The Montgomery ladder over eight points sharing one pre-clamped
+    /// scalar. Returns each lane's projective `(x, z)` for the caller's
+    /// batched inversion; outputs equal the scalar [`super::ladder`]
+    /// lane-for-lane.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/DQ/IFMA, i.e. [`available`] returned `true`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512ifma")]
+    pub unsafe fn ladder8(k: &[u8; KEY_LEN], points: &[[u8; KEY_LEN]; LANES]) -> [(Fe, Fe); LANES] {
+        let mut lanes = [[0u64; LANES]; 6];
+        for (lane, point) in points.iter().enumerate() {
+            for (limbs, &limb) in lanes.iter_mut().zip(&point_limbs(point)) {
+                limbs[lane] = limb;
+            }
+        }
+        let x1 = FeV(core::array::from_fn(|i| {
+            _mm512_loadu_si512(lanes[i].as_ptr().cast())
+        }));
+
+        let mut x2 = fev_splat(1);
+        let mut z2 = fev_splat(0);
+        let mut x3 = x1;
+        let mut z3 = fev_splat(1);
+        let mut swap = 0u64;
+
+        for t in (0..255).rev() {
+            let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+            swap ^= k_t;
+            let mask = splat(0u64.wrapping_sub(swap));
+            cswap(mask, &mut x2, &mut x3);
+            cswap(mask, &mut z2, &mut z3);
+            swap = k_t;
+
+            let a = add(&x2, &z2);
+            let aa = mul(&a, &a);
+            let b = sub(&x2, &z2);
+            let bb = mul(&b, &b);
+            let e = sub(&aa, &bb);
+            let c = add(&x3, &z3);
+            let d = sub(&x3, &z3);
+            let da = mul(&d, &a);
+            let cb = mul(&c, &b);
+            let s = add(&da, &cb);
+            x3 = mul(&s, &s);
+            let f = sub(&da, &cb);
+            z3 = mul(&x1, &mul(&f, &f));
+            x2 = mul(&aa, &bb);
+            z2 = mul(&e, &add(&aa, &mul_small(&e, A24)));
+        }
+        let mask = splat(0u64.wrapping_sub(swap));
+        cswap(mask, &mut x2, &mut x3);
+        cswap(mask, &mut z2, &mut z3);
+
+        let mut xs = [[0u64; LANES]; 6];
+        let mut zs = [[0u64; LANES]; 6];
+        for i in 0..6 {
+            _mm512_storeu_si512(xs[i].as_mut_ptr().cast(), x2.0[i]);
+            _mm512_storeu_si512(zs[i].as_mut_ptr().cast(), z2.0[i]);
+        }
+        core::array::from_fn(|lane| {
+            (
+                fe_from_limbs(core::array::from_fn(|i| xs[i][lane])),
+                fe_from_limbs(core::array::from_fn(|i| zs[i][lane])),
+            )
+        })
+    }
 }
 
 /// Derives the public key for a secret scalar: `x25519(secret, 9)`.
@@ -427,6 +800,100 @@ mod tests {
         assert_eq!(k[0] & 7, 0);
         assert_eq!(k[31] & 128, 0);
         assert_eq!(k[31] & 64, 64);
+    }
+
+    #[test]
+    fn dedicated_square_matches_generic_mul() {
+        // Exercise the full limb range the ladder can feed a squaring:
+        // raw parses plus add/sub outputs (limbs up to 2⁵⁴).
+        let samples = [
+            Fe::ZERO,
+            Fe::ONE,
+            Fe::from_bytes(&[0xffu8; 32]),
+            Fe::from_bytes(&unhex32(
+                "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcd0f",
+            )),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let wide = a.add(b).sub(&b.sub(a));
+                assert_eq!(wide.square().to_bytes(), wide.mul(&wide).to_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_point_scalarmult() {
+        let secret = [0x6bu8; 32];
+        let points: Vec<[u8; 32]> = (0u8..7)
+            .map(|i| public_key(&[i.wrapping_mul(53).wrapping_add(11); 32]))
+            .collect();
+        let batched = x25519_batch(&secret, &points);
+        for (point, out) in points.iter().zip(&batched) {
+            assert_eq!(*out, x25519(&secret, point));
+        }
+        assert!(x25519_batch(&secret, &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_preserves_low_order_zero_outputs() {
+        // u = 0 and u = 1 are low-order points: clamped scalars are
+        // multiples of 8, so the ladder collapses to the all-zero output.
+        // Mixed into a batch they must neither change nor be changed by
+        // their well-formed neighbours.
+        let secret = [0x42u8; 32];
+        let zero = [0u8; 32];
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        let good = public_key(&[9u8; 32]);
+        let points = [good, zero, one, good];
+        let batched = x25519_batch(&secret, &points);
+        assert_eq!(batched[0], x25519(&secret, &good));
+        assert_eq!(batched[1], [0u8; 32]);
+        assert_eq!(batched[2], [0u8; 32]);
+        assert_eq!(batched[3], batched[0]);
+        assert_eq!(x25519(&secret, &zero), [0u8; 32]);
+        assert_eq!(x25519(&secret, &one), [0u8; 32]);
+    }
+
+    #[test]
+    fn batch_matches_per_point_at_every_group_split() {
+        // Cover every vector/scalar split the batch driver can take on an
+        // IFMA host: below MIN_POINTS (all scalar), exactly one padded
+        // group, a full group, full group + scalar tail, full group +
+        // padded group. On other hosts this degenerates to scalar-vs-
+        // scalar, which must still agree.
+        let secret = [0x2du8; 32];
+        let points: Vec<[u8; 32]> = (0u8..21)
+            .map(|i| public_key(&[i.wrapping_mul(29).wrapping_add(3); 32]))
+            .collect();
+        for len in [1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 16, 17, 21] {
+            let batched = x25519_batch(&secret, &points[..len]);
+            for (point, out) in points[..len].iter().zip(&batched) {
+                assert_eq!(*out, x25519(&secret, point), "batch len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_point_on_edge_points() {
+        // Non-canonical and boundary u-coordinates exercise the top-bit
+        // masking and reduction of the wide ladder: p − 1, p, p + 1, the
+        // all-ones string (top bit set), and 2²⁵⁵ − 1 − 19 ≡ p via the
+        // dropped bit.
+        let secret = [0x91u8; 32];
+        let points = [
+            unhex32("ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"),
+            unhex32("edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"),
+            unhex32("eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"),
+            unhex32("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"),
+            BASEPOINT,
+            [0u8; 32],
+        ];
+        let batched = x25519_batch(&secret, &points);
+        for (point, out) in points.iter().zip(&batched) {
+            assert_eq!(*out, x25519(&secret, point));
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::{
     seal_data, unseal_data, AttestationService, EnclaveError, EpcBudget, Measurement, Quote,
     SealingKey,
 };
-use mixnn_crypto::{KeyPair, PublicKey, SealedBox};
+use mixnn_crypto::{CryptoError, KeyPair, PublicKey, SealedBox};
 use rand::Rng;
 
 /// Configuration of a simulated enclave.
@@ -51,7 +51,7 @@ impl Default for EnclaveConfig {
 /// // A participant verifies the quote, then encrypts to the enclave.
 /// let expected = Enclave::expected_measurement(&EnclaveConfig::default());
 /// assert!(service.verify_quote(enclave.quote(), &expected));
-/// let sealed = SealedBox::seal(b"update", enclave.public_key(), &mut rng);
+/// let sealed = SealedBox::seal(b"update", enclave.public_key(), &mut rng)?;
 /// assert_eq!(enclave.decrypt(&sealed)?, b"update");
 /// # Ok(())
 /// # }
@@ -136,18 +136,88 @@ impl Enclave {
     ///
     /// # Errors
     ///
-    /// Returns [`EnclaveError::MemoryExhausted`] if the plaintext does not
-    /// fit in the EPC (strict mode), or [`EnclaveError::Crypto`] if
-    /// decryption fails.
+    /// Returns [`EnclaveError::Crypto`] with
+    /// [`CryptoError::BadLength`] if the blob is shorter than the sealed-box
+    /// overhead (rejected up front, before any EPC charge),
+    /// [`EnclaveError::MemoryExhausted`] if the plaintext does not fit in
+    /// the EPC (strict mode), or [`EnclaveError::Crypto`] if decryption
+    /// fails.
     pub fn decrypt(&self, sealed: &[u8]) -> Result<Vec<u8>, EnclaveError> {
-        let plaintext_len = sealed
-            .len()
-            .saturating_sub(mixnn_crypto::sealed_box::OVERHEAD);
+        let plaintext_len = Self::plaintext_len(sealed.len())?;
         self.memory.allocate(plaintext_len)?;
         let result = SealedBox::open(sealed, &self.keypair);
         // The transient decryption buffer is released either way.
         self.memory.free(plaintext_len)?;
         Ok(result?)
+    }
+
+    /// Plaintext length implied by a sealed blob's length, rejecting blobs
+    /// too short to even carry the sealed-box header. A truncated blob must
+    /// not be charged as a zero-byte allocation — that would let garbage
+    /// bypass EPC accounting entirely.
+    fn plaintext_len(sealed_len: usize) -> Result<usize, EnclaveError> {
+        sealed_len
+            .checked_sub(mixnn_crypto::sealed_box::OVERHEAD)
+            .ok_or(EnclaveError::Crypto(CryptoError::BadLength {
+                expected: "at least 64 bytes",
+                actual: sealed_len,
+            }))
+    }
+
+    /// Opens a batch of sealed boxes addressed to the enclave **without**
+    /// touching the EPC budget: one result per input, in order.
+    ///
+    /// This is the pure half of batched ingestion — the X25519 shared
+    /// secrets for the whole batch are derived together (shared bit
+    /// schedule, one Montgomery-trick inversion), which is where the
+    /// per-envelope decryption savings come from. Pair each result with
+    /// [`Enclave::charge_opened`] to replay the exact EPC accounting
+    /// [`Enclave::decrypt`] would have performed.
+    pub fn open_batch<T: AsRef<[u8]>>(&self, sealed: &[T]) -> Vec<Result<Vec<u8>, CryptoError>> {
+        SealedBox::open_batch(sealed, &self.keypair)
+    }
+
+    /// Replays [`Enclave::decrypt`]'s EPC accounting for one envelope whose
+    /// cryptographic opening was already performed (by
+    /// [`Enclave::open_batch`]).
+    ///
+    /// For every blob `s`,
+    /// `decrypt(s) == charge_opened(s.len(), SealedBox::open(s, keypair))`
+    /// — same result, same sequence of EPC operations. Batched callers use
+    /// this to interleave their own allocations between envelopes in the
+    /// exact order sequential ingestion would, so accept/reject patterns
+    /// under tight EPC budgets are bit-for-bit identical.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Enclave::decrypt`].
+    pub fn charge_opened(
+        &self,
+        sealed_len: usize,
+        opened: Result<Vec<u8>, CryptoError>,
+    ) -> Result<Vec<u8>, EnclaveError> {
+        let plaintext_len = Self::plaintext_len(sealed_len)?;
+        self.memory.allocate(plaintext_len)?;
+        // Decryption itself is pure; the transient buffer decrypt() charges
+        // for the duration of SealedBox::open is released immediately.
+        self.memory.free(plaintext_len)?;
+        Ok(opened?)
+    }
+
+    /// Batched [`Enclave::decrypt`]: opens every blob with the batched
+    /// kernels, then replays the per-envelope EPC accounting in order.
+    ///
+    /// Equivalent to calling [`Enclave::decrypt`] on each element, only
+    /// faster.
+    pub fn decrypt_batch<T: AsRef<[u8]>>(
+        &self,
+        sealed: &[T],
+    ) -> Vec<Result<Vec<u8>, EnclaveError>> {
+        self.open_batch(sealed)
+            .into_iter()
+            .zip(sealed)
+            .map(|(opened, s)| self.charge_opened(s.as_ref().len(), opened))
+            .collect()
     }
 
     /// Seals `data` to this enclave's identity for storage outside the EPC.
@@ -202,7 +272,7 @@ mod tests {
     #[test]
     fn decrypt_round_trip_and_memory_release() {
         let (enclave, _, mut rng) = launch();
-        let sealed = SealedBox::seal(b"gradient bytes", enclave.public_key(), &mut rng);
+        let sealed = SealedBox::seal(b"gradient bytes", enclave.public_key(), &mut rng).unwrap();
         let plain = enclave.decrypt(&sealed).unwrap();
         assert_eq!(plain, b"gradient bytes");
         // Transient buffer must be freed after decryption.
@@ -219,7 +289,7 @@ mod tests {
             ..EnclaveConfig::default()
         };
         let enclave = Enclave::launch(config, &service, &mut rng);
-        let sealed = SealedBox::seal(&[0u8; 64], enclave.public_key(), &mut rng);
+        let sealed = SealedBox::seal(&[0u8; 64], enclave.public_key(), &mut rng).unwrap();
         assert!(matches!(
             enclave.decrypt(&sealed),
             Err(EnclaveError::MemoryExhausted { .. })
@@ -238,5 +308,73 @@ mod tests {
         let (enclave, _, _) = launch();
         assert!(enclave.decrypt(&[0u8; 100]).is_err());
         assert_eq!(enclave.memory().stats().allocated, 0);
+    }
+
+    /// A blob shorter than the sealed-box overhead must be rejected before
+    /// any EPC charge. The old `saturating_sub` path charged it as a
+    /// zero-byte allocation, letting truncated garbage slip past the
+    /// accounting.
+    #[test]
+    fn undersized_blob_rejected_before_epc_charge() {
+        let (enclave, _, _) = launch();
+        for len in [0usize, 1, 32, 63] {
+            assert!(matches!(
+                enclave.decrypt(&vec![0u8; len]),
+                Err(EnclaveError::Crypto(CryptoError::BadLength { actual, .. })) if actual == len
+            ));
+        }
+        // Up-front rejection: no allocation was ever attempted.
+        assert_eq!(enclave.memory().stats().high_water, 0);
+        assert_eq!(enclave.memory().stats().allocated, 0);
+    }
+
+    /// `decrypt_batch` must agree with per-blob `decrypt` — results and
+    /// final EPC accounting — across good, tampered, truncated and
+    /// undersized envelopes.
+    #[test]
+    fn decrypt_batch_matches_sequential_decrypt() {
+        let (enclave, _, mut rng) = launch();
+        let mut blobs: Vec<Vec<u8>> = (0..4u8)
+            .map(|i| SealedBox::seal(&[i; 40], enclave.public_key(), &mut rng).unwrap())
+            .collect();
+        blobs[1][70] ^= 0xff; // tampered ciphertext
+        blobs.push(vec![0u8; 10]); // undersized
+        blobs.push(Vec::new()); // empty
+
+        let batched = enclave.decrypt_batch(&blobs);
+        assert_eq!(enclave.memory().stats().allocated, 0);
+        let sequential: Vec<_> = blobs.iter().map(|b| enclave.decrypt(b)).collect();
+        assert_eq!(batched, sequential);
+        assert!(batched[0].is_ok());
+        assert!(matches!(
+            batched[1],
+            Err(EnclaveError::Crypto(CryptoError::AuthenticationFailed))
+        ));
+        assert!(matches!(
+            batched[4],
+            Err(EnclaveError::Crypto(CryptoError::BadLength { .. }))
+        ));
+        assert_eq!(enclave.memory().stats().allocated, 0);
+    }
+
+    /// `charge_opened` replays `decrypt`'s EPC trace: a blob whose
+    /// plaintext would not fit is rejected with `MemoryExhausted` even if
+    /// its cryptographic opening succeeded.
+    #[test]
+    fn charge_opened_enforces_epc_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let service = AttestationService::new(&mut rng);
+        let config = EnclaveConfig {
+            epc_limit: 16,
+            ..EnclaveConfig::default()
+        };
+        let enclave = Enclave::launch(config, &service, &mut rng);
+        let sealed = SealedBox::seal(&[7u8; 64], enclave.public_key(), &mut rng).unwrap();
+        let opened = SealedBox::open(&sealed, &enclave.keypair);
+        assert!(opened.is_ok());
+        assert!(matches!(
+            enclave.charge_opened(sealed.len(), opened),
+            Err(EnclaveError::MemoryExhausted { .. })
+        ));
     }
 }

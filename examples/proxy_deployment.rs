@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Onion sizes on the wire -----------------------------------------
     let update = synthetic_update(&signature, &mut rng);
-    let onion = client.seal_update(&update, &mut rng);
+    let onion = client.seal_update(&update, &mut rng)?;
     println!(
         "update wire size: {} bytes plaintext, {} bytes as a {hops}-hop onion\n\
          (each hop strips one sealed envelope of {} bytes per layer)",
@@ -122,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     );
     let lone_client = CascadeClient::from_attested_hops(&[lone_hop.descriptor()], &service)?;
-    let mut tampered = lone_client.seal_update(&update, &mut rng);
+    let mut tampered = lone_client.seal_update(&update, &mut rng)?;
     let last = tampered.len() - 1;
     tampered[last] ^= 1;
     match lone_hop.mix_round(&[tampered]) {

@@ -39,7 +39,8 @@ fn proxy_survives_garbage_between_valid_updates() {
     let (mut p, mut rng) = proxy(1);
     for i in 0..4 {
         // Valid update.
-        let sealed = SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng);
+        let sealed =
+            SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng).unwrap();
         p.submit_encrypted(&sealed).unwrap();
         // Garbage of various shapes.
         assert!(p.submit_encrypted(&[]).is_err());
@@ -58,7 +59,8 @@ fn proxy_survives_garbage_between_valid_updates() {
 fn valid_ciphertext_with_malformed_plaintext_is_rejected() {
     let (mut p, mut rng) = proxy(2);
     // Properly sealed, but the plaintext is not a codec frame.
-    let sealed = SealedBox::seal(b"definitely not a model update", p.public_key(), &mut rng);
+    let sealed =
+        SealedBox::seal(b"definitely not a model update", p.public_key(), &mut rng).unwrap();
     assert!(matches!(
         p.submit_encrypted(&sealed),
         Err(ProxyError::Codec { .. })
@@ -72,7 +74,8 @@ fn replayed_update_is_accepted_but_tampered_replay_is_not() {
     // aggregates whatever the round provides); what matters is that a
     // bit-flipped replay fails authentication.
     let (mut p, mut rng) = proxy(3);
-    let sealed = SealedBox::seal(&codec::encode_params(&params(0)), p.public_key(), &mut rng);
+    let sealed =
+        SealedBox::seal(&codec::encode_params(&params(0)), p.public_key(), &mut rng).unwrap();
     p.submit_encrypted(&sealed).unwrap();
     p.submit_encrypted(&sealed).unwrap();
     let mut tampered = sealed.clone();
@@ -104,7 +107,8 @@ fn epc_exhaustion_fails_the_offending_update_only() {
     let mut ok = 0;
     let mut exhausted = 0;
     for i in 0..4 {
-        let sealed = SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng);
+        let sealed =
+            SealedBox::seal(&codec::encode_params(&params(i)), p.public_key(), &mut rng).unwrap();
         match p.submit_encrypted(&sealed) {
             Ok(_) => ok += 1,
             Err(ProxyError::Enclave(mixnn::enclave::EnclaveError::MemoryExhausted { .. })) => {

@@ -114,7 +114,7 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let kp = KeyPair::generate(&mut rng);
-        let sealed = SealedBox::seal(&payload, kp.public(), &mut rng);
+        let sealed = SealedBox::seal(&payload, kp.public(), &mut rng).unwrap();
         prop_assert_eq!(SealedBox::open(&sealed, &kp).unwrap(), payload);
         let mut bad = sealed.clone();
         let idx = flip % bad.len();
