@@ -16,10 +16,13 @@
 //!                                                  gradients (default 1.25; see EXPERIMENTS.md)
 //!   --clients <n>                                  clients for sysperf/cascade/topology (default 16)
 //!   --parallel                                     extended worker/pipeline sweep for cascade
+//!   --load-clients <n>                             simulated clients for load (default 100000,
+//!                                                  quick 2000)
 //!   --out <path>                                   JSON artifact path override
 //!                                                  (throughput: BENCH_throughput.json,
 //!                                                   cascade: BENCH_cascade.json,
-//!                                                   topology: BENCH_topology.json)
+//!                                                   topology: BENCH_topology.json,
+//!                                                   load: BENCH_load.json)
 //! ```
 //!
 //! `throughput` sweeps the parallel ingest pipeline over worker counts
@@ -34,11 +37,16 @@
 //! `topology` compares the three cascade layouts (linear, stratified,
 //! free-route) over hop counts 2..4 × every colluding subset, asserting
 //! the same bit-identical aggregate and recording per-client
-//! anonymity-set distributions.
+//! anonymity-set distributions. `load` drives 10^5 (default) simulated
+//! clients through the cascade wire under batched and per-envelope
+//! flushing, reporting sustained updates/s, p50/p99/p99.9 round latency,
+//! peak queue depths and wire bytes per client — all virtual-time
+//! derived, so the artifact is deterministic per seed and config.
 
 use mixnn_attacks::AttackMode;
 use mixnn_bench::experiments::{
-    background, cascade, inference, robustness, sysperf, throughput, topology, utility, utility_cdf,
+    background, cascade, inference, load, robustness, sysperf, throughput, topology, utility,
+    utility_cdf,
 };
 use mixnn_bench::{report, DatasetKind, Defense, ExperimentScale, ExperimentSetup};
 use std::process::ExitCode;
@@ -96,6 +104,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "Cascade layouts: linear vs stratified vs free-route -> BENCH_topology.json",
         run_topology,
     ),
+    (
+        "load",
+        "Simulated-network load generation: batched vs per-envelope flush -> BENCH_load.json",
+        run_load,
+    ),
 ];
 
 /// The one command that is not a row of [`EXPERIMENTS`]: it iterates them.
@@ -114,6 +127,7 @@ struct Options {
     clients: usize,
     parallel: bool,
     out: Option<String>,
+    load_clients: Option<usize>,
 }
 
 impl Default for Options {
@@ -130,6 +144,7 @@ impl Default for Options {
             clients: 16,
             parallel: false,
             out: None,
+            load_clients: None,
         }
     }
 }
@@ -166,6 +181,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.clients = take_value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--parallel" => opts.parallel = true,
+            "--load-clients" => {
+                opts.load_clients = Some(take_value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--out" => opts.out = Some(take_value(&mut i)?),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -335,7 +353,7 @@ fn run_throughput(opts: &Options) -> Result<(), String> {
         ExperimentScale::Paper => &throughput::DEFAULT_CLIENTS,
         ExperimentScale::Quick => &[8, 32],
     };
-    let results = throughput::run(&setup, clients, &throughput::DEFAULT_WORKERS)
+    let results = throughput::run(&setup, clients, &throughput::DEFAULT_WORKERS, opts.repeats)
         .map_err(|e| e.to_string())?;
     report::print_table(
         "Ingest throughput: parallel pipeline vs sequential (encrypted path)",
@@ -381,6 +399,7 @@ fn run_cascade(opts: &Options) -> Result<(), String> {
         opts.clients,
         &cascade::DEFAULT_HOPS,
         parallel_configs,
+        opts.repeats,
     )
     .map_err(|e| e.to_string())?;
     report::print_table(
@@ -480,6 +499,45 @@ fn run_topology(opts: &Options) -> Result<(), String> {
          A client is linked iff the colluding subset covers its whole route (or its\n\
          route is unique); otherwise its anonymity set is its full route group.\n\
          Results written to {out}."
+    );
+    Ok(())
+}
+
+fn run_load(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_load.json");
+    let rows = load::run(opts.scale, opts.load_clients, opts.seed)?;
+    report::print_table(
+        &format!(
+            "Simulated-network load: batched vs per-envelope flush ({} clients x {} rounds)",
+            rows[0].clients, rows[0].rounds
+        ),
+        &[
+            "flush",
+            "clients",
+            "rounds",
+            "updates/s",
+            "p50 s",
+            "p99 s",
+            "p99.9 s",
+            "peak sendq",
+            "peak recvq",
+            "B/client",
+            "framing",
+            "packets",
+        ],
+        &load::rows(&rows),
+    );
+    std::fs::write(out, load::to_json(&rows)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "\nAll figures are virtual-time derived (deterministic per seed and config).\n\
+         Verified before measuring: a real crypto-carrying cascade round delivered\n\
+         over the simulated wire is bit-identical to the in-process drive; batched\n\
+         flushing beat the per-envelope baseline; batched framing overhead stayed\n\
+         under {:.0}% of payload (cross-checked against the ~23 KB/client/round\n\
+         figure in ROADMAP.md, ratio {:.2}).\n\
+         Results written to {out}.",
+        load::MAX_FRAMING_OVERHEAD * 100.0,
+        rows[0].roadmap_bytes_ratio,
     );
     Ok(())
 }

@@ -24,6 +24,7 @@
 //!
 //! [`CascadeAudit::unmix`]: mixnn_cascade::CascadeAudit::unmix
 
+use crate::report::Percentiles;
 use crate::{ExperimentScale, ExperimentSetup};
 use mixnn_attacks::{analyze_collusion, AttackError};
 use mixnn_cascade::{CascadeCoordinator, CascadeTopology, FailurePolicy, FreeRoute};
@@ -149,7 +150,9 @@ fn sweep_signature(scale: ExperimentScale) -> Vec<usize> {
 /// parallel-engine sweep (e.g. [`DEFAULT_PARALLEL`]); the sequential
 /// `(1, 1)` drive always runs first — it is both the bit-identity
 /// reference and the speedup anchor row — so listing it in the configs is
-/// optional and never runs it twice.
+/// optional and never runs it twice. The per-hop-count round duration is
+/// the median of `repeats` identical re-runs
+/// ([`Percentiles::from_samples`]).
 ///
 /// # Errors
 ///
@@ -171,6 +174,7 @@ pub fn run(
     clients: usize,
     hop_counts: &[usize],
     parallel_configs: &[(usize, usize)],
+    repeats: usize,
 ) -> Result<CascadeSweep, AttackError> {
     if clients < 2 {
         // One client has an anonymity set of one no matter the chain; the
@@ -210,23 +214,34 @@ pub fn run(
     let mut perf = Vec::with_capacity(hop_counts.len());
     let mut collusion = Vec::new();
     for &hops in hop_counts {
-        let mut rng = StdRng::seed_from_u64(seed ^ ((hops as u64) << 16));
-        let service = AttestationService::new(&mut rng);
-        let mut cascade = CascadeCoordinator::linear(
-            signature.clone(),
-            hops,
-            seed,
-            FailurePolicy::Abort,
-            &service,
-            &mut rng,
-        )
-        .map_err(mixnn_fl::FlError::from)?;
-
-        let t0 = Instant::now();
-        let round = cascade
-            .run_round(&originals, &mut rng)
+        // Each repetition rebuilds the cascade from the same seeds, so
+        // every rep runs the identical round (bit for bit) and the hop
+        // stats below describe exactly one round; the reported duration
+        // is the median of the repetitions, not a lucky or unlucky one.
+        let mut round_samples = Vec::with_capacity(repeats.max(1));
+        let mut last = None;
+        for _ in 0..repeats.max(1) {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((hops as u64) << 16));
+            let service = AttestationService::new(&mut rng);
+            let mut cascade = CascadeCoordinator::linear(
+                signature.clone(),
+                hops,
+                seed,
+                FailurePolicy::Abort,
+                &service,
+                &mut rng,
+            )
             .map_err(mixnn_fl::FlError::from)?;
-        let round_seconds = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let round = cascade
+                .run_round(&originals, &mut rng)
+                .map_err(mixnn_fl::FlError::from)?;
+            round_samples.push(t0.elapsed().as_secs_f64());
+            last = Some((cascade, round));
+        }
+        let (cascade, round) = last.expect("at least one repetition ran");
+        let round_seconds = Percentiles::from_samples(&round_samples).p50;
 
         // Assertion 1: utility equivalence against the single-proxy
         // baseline, bit for bit, at every hop count.
@@ -561,6 +576,7 @@ mod tests {
             6,
             &[1, 2, 3],
             &DEFAULT_PARALLEL,
+            2,
         )
         .unwrap()
     }

@@ -12,6 +12,7 @@
 //! Results are also dumped to `BENCH_throughput.json` so speedups land in
 //! a machine-readable artifact alongside the criterion benches.
 
+use crate::report::Percentiles;
 use crate::ExperimentSetup;
 use mixnn_attacks::AttackError;
 use mixnn_core::{
@@ -84,7 +85,10 @@ fn launch(signature: Vec<usize>, seed: u64, parallelism: Parallelism) -> MixnnPr
 /// For each client count, the same `C` sealed updates go through a fresh
 /// proxy at each worker count; the mixed outputs of every configuration
 /// are asserted identical to the sequential ones (fixed seeds), so the
-/// reported speedups are for provably equivalent work.
+/// reported speedups are for provably equivalent work. Each cell is
+/// measured `repeats` times (fresh proxy per repetition) and the
+/// reported seconds are the median ([`Percentiles::from_samples`]), so
+/// `--repeats` suppresses scheduler noise instead of averaging it in.
 ///
 /// # Errors
 ///
@@ -94,6 +98,7 @@ pub fn run(
     setup: &ExperimentSetup,
     client_counts: &[usize],
     worker_counts: &[usize],
+    repeats: usize,
 ) -> Result<Vec<ThroughputRow>, AttackError> {
     // Five layers, ~8k parameters: the §6.5 cost shape (decrypt-dominated)
     // at a size where C=512 stays a smoke-runnable sweep.
@@ -140,26 +145,33 @@ pub fn run(
                 mix_shards: workers,
                 ..Parallelism::sequential()
             };
-            let mut proxy = launch(signature.clone(), seed, parallelism);
-            let ingest = ParallelIngest::new(workers);
+            let mut ingest_samples = Vec::with_capacity(repeats.max(1));
+            let mut mix_samples = Vec::with_capacity(repeats.max(1));
+            let mut stats = None;
+            for _ in 0..repeats.max(1) {
+                let mut proxy = launch(signature.clone(), seed, parallelism);
+                let ingest = ParallelIngest::new(workers);
 
-            let t0 = Instant::now();
-            let results = ingest.submit_all(&mut proxy, &sealed);
-            let ingest_seconds = t0.elapsed().as_secs_f64();
-            for r in results {
-                r.map_err(mixnn_fl::FlError::from)?;
+                let t0 = Instant::now();
+                let results = ingest.submit_all(&mut proxy, &sealed);
+                ingest_samples.push(t0.elapsed().as_secs_f64());
+                for r in results {
+                    r.map_err(mixnn_fl::FlError::from)?;
+                }
+
+                let t1 = Instant::now();
+                let mixed = proxy.mix_batch().map_err(mixnn_fl::FlError::from)?;
+                mix_samples.push(t1.elapsed().as_secs_f64());
+
+                assert_eq!(
+                    sequential_mixed, mixed,
+                    "parallel pipeline diverged at {workers} workers"
+                );
+                stats = Some(proxy.stats());
             }
-
-            let t1 = Instant::now();
-            let mixed = proxy.mix_batch().map_err(mixnn_fl::FlError::from)?;
-            let mix_seconds = t1.elapsed().as_secs_f64();
-
-            assert_eq!(
-                sequential_mixed, mixed,
-                "parallel pipeline diverged at {workers} workers"
-            );
-
-            let stats = proxy.stats();
+            let ingest_seconds = Percentiles::from_samples(&ingest_samples).p50;
+            let mix_seconds = Percentiles::from_samples(&mix_samples).p50;
+            let stats = stats.expect("at least one repetition ran");
             client_rows.push(ThroughputRow {
                 clients,
                 workers,
@@ -254,7 +266,7 @@ mod tests {
     fn sweep_measures_and_verifies_determinism() {
         let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, ExperimentScale::Quick, 1);
         // Small cells: determinism is asserted inside run().
-        let rows = run(&setup, &[8], &[1, 2, 4]).unwrap();
+        let rows = run(&setup, &[8], &[1, 2, 4], 2).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].workers, 1);
         assert!((rows[0].speedup_vs_sequential - 1.0).abs() < 1e-9);
@@ -267,7 +279,7 @@ mod tests {
     #[test]
     fn json_artifact_is_well_formed_enough() {
         let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, ExperimentScale::Quick, 1);
-        let rows = run(&setup, &[4], &[1, 2]).unwrap();
+        let rows = run(&setup, &[4], &[1, 2], 1).unwrap();
         let json = to_json(&rows);
         assert!(json.contains("\"ingest_throughput\""));
         assert_eq!(json.matches("\"workers\"").count(), 2);

@@ -55,6 +55,50 @@ pub fn fmt_mb(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// The `q`-quantile (`0.0 ..= 1.0`) of `samples` by linear interpolation
+/// between closest ranks; `0.0` for an empty slice. The input need not
+/// be sorted.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+    }
+}
+
+/// The percentile summary every latency/duration table reports: median,
+/// tail, extreme tail. Built once from a sample vector so experiments
+/// stop hand-rolling their own aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Percentiles {
+    /// Summarizes `samples` (unsorted is fine; empty yields all zeros —
+    /// a single sample is its own median and tail).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Percentiles {
+            p50: percentile(samples, 0.50),
+            p99: percentile(samples, 0.99),
+            p999: percentile(samples, 0.999),
+        }
+    }
+}
+
 /// Mean of a non-empty f32 slice (0.0 for empty).
 pub fn mean(values: &[f32]) -> f32 {
     if values.is_empty() {
@@ -75,6 +119,24 @@ mod tests {
         assert_eq!(fmt_mb(26_900_000), "25.65");
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_handle_degenerate_inputs() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::from_samples(&samples);
+        assert_eq!(p.p50, 50.5);
+        assert!((p.p99 - 99.01).abs() < 1e-9);
+        assert!((p.p999 - 99.901).abs() < 1e-9);
+        // Order must not matter.
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        assert_eq!(p, Percentiles::from_samples(&reversed));
+        // A single sample is every percentile; empty is all zeros.
+        let one = Percentiles::from_samples(&[7.0]);
+        assert_eq!((one.p50, one.p99, one.p999), (7.0, 7.0, 7.0));
+        let none = Percentiles::from_samples(&[]);
+        assert_eq!((none.p50, none.p99, none.p999), (0.0, 0.0, 0.0));
     }
 
     #[test]

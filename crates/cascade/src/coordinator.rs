@@ -28,7 +28,9 @@ use crate::{
     CascadeClient, CascadeError, CascadeHop, CascadeHopConfig, CascadeTopology, HopDescriptor,
     LinearChain, OnionUpdate,
 };
-use mixnn_core::{map_chunked, shard_seed, MixPlan, Parallelism, ProxyStats};
+use mixnn_core::{
+    map_chunked, shard_seed, Endpoint, InProcessLink, MixPlan, Parallelism, ProxyStats, RoundLink,
+};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
@@ -850,6 +852,43 @@ impl CascadeCoordinator {
         updates: &[ModelParams],
         rng: &mut R,
     ) -> Result<CascadeRound, CascadeError> {
+        self.run_round_over(updates, rng, &mut InProcessLink)
+    }
+
+    /// [`CascadeCoordinator::run_round`] with every inter-stage exchange
+    /// — clients into the first hop, hop to hop along each group's route,
+    /// last hop into the server — delivered through `link` instead of an
+    /// in-process move.
+    ///
+    /// With [`mixnn_core::InProcessLink`] this **is** `run_round` (that
+    /// method delegates here). Over a real [`RoundLink`] — e.g.
+    /// `mixnn-net`'s simulated network — a successful delivery returns
+    /// the batch byte-identical and in order, so round outputs, audits
+    /// and stats are bit-identical to the in-process drive; only *cost*
+    /// (virtual latency, queueing, bytes on the wire) differs. A failed
+    /// delivery is attributed to a hop — the receiving hop, or the
+    /// sending hop when the segment ends at the server — and handled by
+    /// the configured [`FailurePolicy`]: `Skip` marks that hop down and
+    /// retries the round on the surviving routes (rerouting exactly the
+    /// groups that traversed it), `Abort` surfaces
+    /// [`CascadeError::Link`].
+    ///
+    /// A non-transparent link carries mutable wire state (queues, a
+    /// clock), so the optimistic concurrent group drive is bypassed and
+    /// segments hit the wire in the canonical sequential order — the
+    /// order the determinism suite pins down.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CascadeCoordinator::run_round`], plus
+    /// [`CascadeError::Link`] for a delivery failure under
+    /// [`FailurePolicy::Abort`].
+    pub fn run_round_over<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[ModelParams],
+        rng: &mut R,
+        link: &mut dyn RoundLink,
+    ) -> Result<CascadeRound, CascadeError> {
         if updates.is_empty() {
             return Err(CascadeError::EmptyRound);
         }
@@ -870,7 +909,7 @@ impl CascadeCoordinator {
             // count.
             let batches = Self::seal_groups(&self.hops, &groups, updates, rng);
 
-            if self.parallelism.group_workers > 1 && groups.len() > 1 {
+            if link.is_transparent() && self.parallelism.group_workers > 1 && groups.len() > 1 {
                 if let Some(round) = self.try_concurrent_round(&groups, &batches, updates.len()) {
                     return Ok(CascadeRound {
                         skipped_this_round,
@@ -888,7 +927,26 @@ impl CascadeCoordinator {
             let mut chain: Vec<usize> = Vec::new();
             for (group, mut batch) in groups.iter().zip(batches) {
                 let mut plans = Vec::with_capacity(group.route.len());
-                for &h in &group.route {
+                for (pos, &h) in group.route.iter().enumerate() {
+                    let from = if pos == 0 {
+                        Endpoint::Clients
+                    } else {
+                        Endpoint::Hop(group.route[pos - 1])
+                    };
+                    batch = match link.deliver(from, Endpoint::Hop(h), batch) {
+                        Ok(delivered) => delivered,
+                        Err(source) => match self.policy {
+                            FailurePolicy::Abort => return Err(CascadeError::Link { source }),
+                            FailurePolicy::Skip => {
+                                // The wire could not reach hop `h`: mark
+                                // it down, exactly as if the hop itself
+                                // had failed.
+                                self.skipped[h] = true;
+                                skipped_this_round.push(h);
+                                continue 'retry;
+                            }
+                        },
+                    };
                     match self.hops[h].mix_round(&batch) {
                         Ok((out, plan)) => {
                             batch = out;
@@ -904,6 +962,21 @@ impl CascadeCoordinator {
                         },
                     }
                 }
+                let last = *group.route.last().expect("groups have non-empty routes");
+                batch = match link.deliver(Endpoint::Hop(last), Endpoint::Server, batch) {
+                    Ok(delivered) => delivered,
+                    Err(source) => match self.policy {
+                        FailurePolicy::Abort => return Err(CascadeError::Link { source }),
+                        FailurePolicy::Skip => {
+                            // The segment into the server has no receiving
+                            // hop; blame the sender — the hop whose egress
+                            // is unreachable.
+                            self.skipped[last] = true;
+                            skipped_this_round.push(last);
+                            continue 'retry;
+                        }
+                    },
+                };
                 for (local, wire) in batch.iter().enumerate() {
                     mixed[group.slots[local]] =
                         Some(OnionUpdate::decode(wire)?.into_params(&self.signature)?);

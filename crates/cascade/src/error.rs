@@ -1,4 +1,4 @@
-use mixnn_core::ProxyError;
+use mixnn_core::{LinkError, ProxyError};
 use mixnn_crypto::CryptoError;
 use std::error::Error;
 use std::fmt;
@@ -67,6 +67,16 @@ pub enum CascadeError {
         /// Number of route groups the round split into.
         groups: usize,
     },
+    /// The wire failed to deliver a round segment between two stages of
+    /// the update path (timeout on lost packets, stalled or refused
+    /// connection). Under `FailurePolicy::Skip` the receiving hop is
+    /// marked down instead and the round retries on the surviving routes;
+    /// under `FailurePolicy::Abort` this error surfaces.
+    Link {
+        /// The underlying delivery failure, carrying the segment's
+        /// endpoints.
+        source: LinkError,
+    },
 }
 
 impl fmt::Display for CascadeError {
@@ -93,6 +103,7 @@ impl fmt::Display for CascadeError {
                 "round split into {groups} route groups; a flat plan list cannot describe it \
                  (use CascadeAudit::groups)"
             ),
+            CascadeError::Link { source } => write!(f, "wire delivery failed: {source}"),
         }
     }
 }
@@ -102,6 +113,7 @@ impl Error for CascadeError {
         match self {
             CascadeError::Hop { source, .. } => Some(source),
             CascadeError::Seal { source } => Some(source),
+            CascadeError::Link { source } => Some(source),
             _ => None,
         }
     }
@@ -109,8 +121,16 @@ impl Error for CascadeError {
 
 impl From<CascadeError> for mixnn_fl::FlError {
     fn from(e: CascadeError) -> Self {
-        mixnn_fl::FlError::Transport {
-            message: e.to_string(),
+        match &e {
+            // A wire timeout keeps its type across the layer boundary so
+            // FL callers can distinguish "the network stalled" (retry the
+            // round) from "the transport is misconfigured" (don't).
+            CascadeError::Link { source } if source.is_timeout() => mixnn_fl::FlError::Timeout {
+                message: e.to_string(),
+            },
+            _ => mixnn_fl::FlError::Transport {
+                message: e.to_string(),
+            },
         }
     }
 }
@@ -135,6 +155,33 @@ mod tests {
         let fl: mixnn_fl::FlError = e.into();
         assert!(matches!(fl, mixnn_fl::FlError::Transport { .. }));
         assert!(fl.to_string().contains("no active hops"));
+    }
+
+    #[test]
+    fn link_timeout_converts_to_typed_fl_timeout() {
+        let timeout = CascadeError::Link {
+            source: LinkError::Timeout {
+                from: mixnn_core::Endpoint::Hop(0),
+                to: mixnn_core::Endpoint::Hop(1),
+                delivered: 2,
+                expected: 5,
+            },
+        };
+        assert!(timeout.source().is_some());
+        let fl: mixnn_fl::FlError = timeout.into();
+        assert!(matches!(fl, mixnn_fl::FlError::Timeout { .. }));
+        assert!(fl.to_string().contains("2/5"));
+
+        // A non-timeout wire failure stays a generic transport error.
+        let refused = CascadeError::Link {
+            source: LinkError::Connection {
+                from: mixnn_core::Endpoint::Hop(0),
+                to: mixnn_core::Endpoint::Server,
+                reason: "closed".into(),
+            },
+        };
+        let fl: mixnn_fl::FlError = refused.into();
+        assert!(matches!(fl, mixnn_fl::FlError::Transport { .. }));
     }
 
     #[test]

@@ -63,6 +63,7 @@
 pub mod codec;
 mod error;
 mod ingest;
+mod link;
 mod mixer;
 mod parallel;
 mod proxy;
@@ -70,6 +71,7 @@ mod transport;
 
 pub use error::ProxyError;
 pub use ingest::ParallelIngest;
+pub use link::{Endpoint, InProcessLink, LinkError, RoundLink};
 pub use mixer::{shard_seed, BatchMixer, MixPlan, MixingStrategy, StreamingMixer};
 pub use parallel::{map_chunked, map_chunked_batched, Parallelism};
 pub use proxy::{MixnnProxy, MixnnProxyConfig, ProxyStats, StagedUpdate};

@@ -37,6 +37,14 @@ pub enum FlError {
         /// Human-readable failure description from the transport.
         message: String,
     },
+    /// The transport timed out waiting for a round segment to arrive —
+    /// packets were lost or a connection stalled past its deadline.
+    /// Distinct from [`FlError::Transport`] so callers can treat it as
+    /// transient (the round may succeed on retry or under a skip policy).
+    Timeout {
+        /// Human-readable description of the timed-out segment.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -59,6 +67,7 @@ impl fmt::Display for FlError {
                 write!(f, "client {client_id} is not part of the simulation")
             }
             FlError::Transport { message } => write!(f, "transport failure: {message}"),
+            FlError::Timeout { message } => write!(f, "transport timeout: {message}"),
         }
     }
 }
@@ -114,6 +123,15 @@ mod tests {
         let e: FlError = mixnn_core::ProxyError::InsufficientUpdates { have: 0, need: 1 }.into();
         assert!(matches!(e, FlError::Transport { .. }));
         assert!(e.to_string().contains("needs 1 updates"));
+    }
+
+    #[test]
+    fn timeout_is_distinct_from_generic_transport_failure() {
+        let t = FlError::Timeout {
+            message: "hop 1 -> hop 2 stalled".into(),
+        };
+        assert!(t.to_string().contains("transport timeout"));
+        assert!(!matches!(t, FlError::Transport { .. }));
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! Load generation: 10^5–10^6 simulated clients through the cascade wire.
+//!
+//! Real onions at that scale would spend the benchmark's time in crypto,
+//! not networking — so the load generator ships **size-only packets**
+//! ([`Packet::synthetic`]): each client's round contribution is modelled
+//! by the exact wire sizes the MIXC onion codec produces (per-layer
+//! envelope `4 + 4·len + 64·seals`, burst framing from the MIXB codec),
+//! with no per-client allocation on the hot path. Client send times are
+//! computed arithmetically from a pooled arrival pattern (round start
+//! plus an even spread), hops count arriving frames per round and emit
+//! their (shrunken-by-one-seal) output after a per-update service time,
+//! and the server's round-completion times yield per-client latency
+//! samples.
+//!
+//! Everything runs in virtual time on one [`SimNet`], so an outcome is a
+//! pure function of its [`LoadConfig`] — same seed and config, identical
+//! metrics — and `eval load`'s JSON rows are reproducible byte for byte.
+
+use crate::frame::{burst_overhead_bytes, FRAME_HEADER_BYTES};
+use crate::link::FlushPolicy;
+use crate::sim::{LinkConfig, Packet, SimNet};
+use mixnn_crypto::sealed_box::OVERHEAD as SEAL_OVERHEAD;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Simulated clients per round.
+    pub clients: usize,
+    /// Rounds to drive.
+    pub rounds: usize,
+    /// Cascade hops the updates traverse.
+    pub hops: usize,
+    /// Model layer signature (parameters per layer) — determines every
+    /// envelope size.
+    pub signature: Vec<usize>,
+    /// Seed for the network's jitter/reorder draws.
+    pub seed: u64,
+    /// The shared client access link into the first hop.
+    pub access: LinkConfig,
+    /// Hop-to-hop and hop-to-server links (typically faster).
+    pub backbone: LinkConfig,
+    /// Flush policy clients and hops use.
+    pub flush: FlushPolicy,
+    /// Virtual time between round starts.
+    pub round_interval_ns: u64,
+    /// Client send times spread evenly across this window from the round
+    /// start (pooled arrivals; must not exceed the interval).
+    pub arrival_spread_ns: u64,
+    /// Per-update service time a hop pays before emitting its round
+    /// output (stands in for decrypt + mix).
+    pub hop_service_ns_per_update: u64,
+    /// A round not completed this long after its start aborts the run.
+    pub timeout_ns: u64,
+}
+
+impl LoadConfig {
+    /// Paper-scale defaults: 10^5 clients, the §6 model signature
+    /// (5762 parameters over 5 layers), a 3-hop cascade, 1 Gbit/s access
+    /// and ~8 Gbit/s backbone.
+    pub fn paper(clients: usize, flush: FlushPolicy) -> Self {
+        LoadConfig {
+            clients,
+            rounds: 3,
+            hops: 3,
+            signature: vec![2048, 2048, 1024, 512, 130],
+            seed: 7,
+            access: LinkConfig::default(),
+            backbone: LinkConfig {
+                per_byte_ns: 1,
+                ..LinkConfig::default()
+            },
+            flush,
+            round_interval_ns: 60_000_000_000, // 60 s
+            arrival_spread_ns: 10_000_000_000, // clients trickle in over 10 s
+            hop_service_ns_per_update: 5_000,  // ≈ batched decrypt cost
+            timeout_ns: 600_000_000_000,
+        }
+    }
+
+    /// A small configuration for tests and `--quick` CI smoke runs.
+    pub fn quick(flush: FlushPolicy) -> Self {
+        LoadConfig {
+            clients: 2_000,
+            rounds: 2,
+            hops: 2,
+            round_interval_ns: 10_000_000_000,
+            arrival_spread_ns: 1_000_000_000,
+            ..LoadConfig::paper(0, flush)
+        }
+    }
+}
+
+/// Metrics of a completed load run. All time-derived figures are in
+/// *virtual* seconds, so they are deterministic.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Clients per round (echoed from the config).
+    pub clients: usize,
+    /// Rounds driven.
+    pub rounds: usize,
+    /// Flush policy used.
+    pub flush: FlushPolicy,
+    /// Virtual time at which the last round completed, in seconds.
+    pub sim_seconds: f64,
+    /// Updates the deployment sustained per virtual second.
+    pub sustained_updates_per_sec: f64,
+    /// Per-client round latency samples (send to server-side round
+    /// completion), in virtual seconds, round by round in client order.
+    pub latency_samples_s: Vec<f64>,
+    /// Deepest any link's send queue got.
+    pub peak_send_queue: usize,
+    /// Deepest any node's receive queue got.
+    pub peak_recv_queue: usize,
+    /// Wire bytes across every link.
+    pub wire_bytes_total: u64,
+    /// Wire bytes on the client access link (framing included).
+    pub ingress_wire_bytes: u64,
+    /// Envelope payload bytes on the client access link (no framing).
+    pub ingress_payload_bytes: u64,
+    /// Wire bytes each client puts on the access link per round.
+    pub bytes_on_wire_per_client: f64,
+    /// Fraction of the access wire spent on burst framing.
+    pub framing_overhead: f64,
+    /// Packets transmitted across all links.
+    pub packets_sent: u64,
+    /// Packets delivered into receive queues.
+    pub packets_delivered: u64,
+    /// Simulator events processed.
+    pub events_processed: u64,
+}
+
+/// A load run that could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "load generation failed: {}", self.message)
+    }
+}
+
+impl Error for LoadError {}
+
+fn err(message: impl Into<String>) -> LoadError {
+    LoadError {
+        message: message.into(),
+    }
+}
+
+/// Envelope wire size for layer `len` with `seals` sealed-box layers
+/// still wrapped around it (the MIXC per-layer encoding plus crypto
+/// overhead per remaining seal).
+fn envelope_bytes(len: usize, seals: usize) -> usize {
+    4 + 4 * len + SEAL_OVERHEAD * seals
+}
+
+/// A hop's (or the client pool's) not-yet-transmitted round output,
+/// materialized packet by packet so backpressure costs no storage.
+#[derive(Debug)]
+struct PendingOut {
+    to: usize,
+    round: u64,
+    /// Packets still to send; index counts down from `total`.
+    remaining: usize,
+    total: usize,
+    /// `Some(bytes)`: one batched burst of `frames` frames. `None`:
+    /// per-envelope bursts sized per layer.
+    batched: Option<(usize, usize)>,
+    /// Per-layer per-envelope burst sizes (per-envelope mode).
+    env_burst_bytes: Vec<usize>,
+}
+
+impl PendingOut {
+    fn next_packet(&mut self) -> Option<Packet> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let idx = self.total - self.remaining;
+        let packet = match self.batched {
+            Some((bytes, frames)) => Packet::synthetic(bytes, frames, self.round),
+            None => {
+                let layer = idx % self.env_burst_bytes.len();
+                Packet::synthetic(self.env_burst_bytes[layer], 1, self.round)
+            }
+        };
+        self.remaining -= 1;
+        Some(packet)
+    }
+
+    fn unsend(&mut self) {
+        self.remaining += 1;
+    }
+}
+
+/// Drives the configured client population through the simulated cascade
+/// and reports sustained throughput, latency percentile samples, queue
+/// peaks and wire-byte accounting.
+///
+/// # Errors
+///
+/// Rejects invalid configurations (zero clients/rounds/hops, an empty
+/// signature, lossy links — the generator models a healthy deployment,
+/// loss injection belongs to the failure tests — or an arrival spread
+/// wider than the round interval), and aborts with a timeout error if a
+/// round fails to complete `timeout_ns` after its start.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, LoadError> {
+    if cfg.clients == 0 || cfg.rounds == 0 || cfg.hops == 0 {
+        return Err(err("clients, rounds and hops must all be non-zero"));
+    }
+    if cfg.signature.is_empty() {
+        return Err(err("model signature must have at least one layer"));
+    }
+    if cfg.access.loss > 0.0 || cfg.backbone.loss > 0.0 {
+        return Err(err(
+            "load generation models a healthy deployment; inject loss via the failure tests",
+        ));
+    }
+    if cfg.arrival_spread_ns > cfg.round_interval_ns {
+        return Err(err("arrival spread must fit within the round interval"));
+    }
+
+    let layers = cfg.signature.len();
+    let clients = cfg.clients;
+    let hops = cfg.hops;
+    let frames_per_round = (clients * layers) as u64;
+
+    // Wire the linear chain: clients -> hop 0 -> ... -> server.
+    let mut net = SimNet::new(cfg.seed);
+    let client_node = net.add_node();
+    let hop_nodes: Vec<usize> = (0..hops).map(|_| net.add_node()).collect();
+    let server_node = net.add_node();
+    net.connect(client_node, hop_nodes[0], cfg.access);
+    for h in 0..hops {
+        let to = if h + 1 < hops {
+            hop_nodes[h + 1]
+        } else {
+            server_node
+        };
+        net.connect(hop_nodes[h], to, cfg.backbone);
+    }
+
+    // Precompute per-stage envelope sizes: stage s is the ingress of hop
+    // s (s < hops) or of the server (s == hops); an envelope entering
+    // stage s still wears `hops - s` seals.
+    let env_sizes: Vec<Vec<usize>> = (0..=hops)
+        .map(|s| {
+            cfg.signature
+                .iter()
+                .map(|&len| envelope_bytes(len, hops - s))
+                .collect()
+        })
+        .collect();
+    let stage_payload_per_client: Vec<usize> = env_sizes.iter().map(|e| e.iter().sum()).collect();
+    let env_burst_sizes: Vec<Vec<usize>> = env_sizes
+        .iter()
+        .map(|e| e.iter().map(|b| b + burst_overhead_bytes(1)).collect())
+        .collect();
+    // A client's batched burst: its `layers` envelopes in one packet.
+    let client_burst_bytes = burst_overhead_bytes(layers) + stage_payload_per_client[0];
+    // A hop's batched burst: the whole round's envelopes in one packet.
+    let hop_burst_bytes: Vec<usize> = (1..=hops)
+        .map(|s| {
+            burst_overhead_bytes(0)
+                + clients * (layers * FRAME_HEADER_BYTES + stage_payload_per_client[s])
+        })
+        .collect();
+
+    let bursts_per_client = match cfg.flush {
+        FlushPolicy::Batched => 1,
+        FlushPolicy::PerEnvelope => layers,
+    };
+    let total_client_bursts = cfg.rounds * clients * bursts_per_client;
+    let send_time = |burst: usize| -> u64 {
+        let per_round = clients * bursts_per_client;
+        let round = burst / per_round;
+        let client = (burst % per_round) / bursts_per_client;
+        round as u64 * cfg.round_interval_ns
+            + (client as u64 * cfg.arrival_spread_ns) / clients as u64
+    };
+
+    // Per-hop and server frame counters, per round.
+    let mut hop_frames: Vec<Vec<u64>> = vec![vec![0; cfg.rounds]; hops];
+    let mut server_frames: Vec<u64> = vec![0; cfg.rounds];
+    let mut completions: Vec<Option<u64>> = vec![None; cfg.rounds];
+    let mut completed = 0usize;
+    // (emit time, hop, round) — a hop finished servicing a round.
+    let mut emits: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+    let mut pending: Vec<VecDeque<PendingOut>> = (0..hops).map(|_| VecDeque::new()).collect();
+
+    let mut cursor = 0usize;
+    let mut ingress_wire_bytes = 0u64;
+    let service_ns = cfg.hop_service_ns_per_update * clients as u64;
+
+    loop {
+        // Drain receivers first: recv frees credits, which un-stalls
+        // inbound links before anything else happens at this instant.
+        for h in 0..hops {
+            while let Some((_, packet)) = net.recv(hop_nodes[h]) {
+                let round = packet.tag as usize;
+                hop_frames[h][round] += packet.frames as u64;
+                if hop_frames[h][round] == frames_per_round {
+                    emits.push(Reverse((net.now_ns() + service_ns, h, packet.tag)));
+                }
+            }
+        }
+        while let Some((_, packet)) = net.recv(server_node) {
+            let round = packet.tag as usize;
+            server_frames[round] += packet.frames as u64;
+            if server_frames[round] == frames_per_round {
+                completions[round] = Some(net.now_ns());
+                completed += 1;
+            }
+        }
+
+        // Hop round outputs whose service time has elapsed become
+        // pending bursts toward the next stage.
+        while let Some(&Reverse((t, h, round))) = emits.peek() {
+            if t > net.now_ns() {
+                break;
+            }
+            emits.pop();
+            let stage = h + 1;
+            let to = if stage < hops {
+                hop_nodes[stage]
+            } else {
+                server_node
+            };
+            let (total, batched) = match cfg.flush {
+                FlushPolicy::Batched => (1, Some((hop_burst_bytes[stage - 1], clients * layers))),
+                FlushPolicy::PerEnvelope => (clients * layers, None),
+            };
+            pending[h].push_back(PendingOut {
+                to,
+                round,
+                remaining: total,
+                total,
+                batched,
+                env_burst_bytes: env_burst_sizes[stage].clone(),
+            });
+        }
+
+        // Transmit pending hop output under backpressure.
+        for h in 0..hops {
+            'hop: while let Some(out) = pending[h].front_mut() {
+                while let Some(packet) = out.next_packet() {
+                    if net.try_send(hop_nodes[h], out.to, packet).is_err() {
+                        out.unsend();
+                        break 'hop;
+                    }
+                }
+                pending[h].pop_front();
+            }
+        }
+
+        // Clients whose arrival time has come transmit, also under
+        // backpressure; sizes are arithmetic, nothing is stored per
+        // client.
+        while cursor < total_client_bursts && send_time(cursor) <= net.now_ns() {
+            let round = (cursor / (clients * bursts_per_client)) as u64;
+            let packet = match cfg.flush {
+                FlushPolicy::Batched => Packet::synthetic(client_burst_bytes, layers, round),
+                FlushPolicy::PerEnvelope => {
+                    let layer = cursor % layers;
+                    Packet::synthetic(env_burst_sizes[0][layer], 1, round)
+                }
+            };
+            let bytes = packet.bytes as u64;
+            if net.try_send(client_node, hop_nodes[0], packet).is_err() {
+                break;
+            }
+            ingress_wire_bytes += bytes;
+            cursor += 1;
+        }
+
+        if completed == cfg.rounds {
+            break;
+        }
+
+        // Timeout guard on the earliest incomplete round.
+        let earliest = completions
+            .iter()
+            .position(|c| c.is_none())
+            .expect("an incomplete round exists while completed < rounds");
+        let deadline = earliest as u64 * cfg.round_interval_ns + cfg.timeout_ns;
+        if net.now_ns() > deadline {
+            return Err(err(format!(
+                "round {earliest} incomplete after {} virtual seconds",
+                cfg.timeout_ns / 1_000_000_000
+            )));
+        }
+
+        // Advance virtual time to the next thing that can happen: a
+        // network event, a hop emit, or the next client arrival (only if
+        // it lies in the future — an overdue client is waiting on the
+        // wire, i.e. on a network event).
+        let mut target: Option<u64> = net.next_event_ns();
+        if let Some(&Reverse((t, _, _))) = emits.peek() {
+            target = Some(target.map_or(t, |x| x.min(t)));
+        }
+        if cursor < total_client_bursts {
+            let t = send_time(cursor);
+            if t > net.now_ns() {
+                target = Some(target.map_or(t, |x| x.min(t)));
+            }
+        }
+        match target {
+            Some(t) if t <= net.now_ns() => {
+                net.step();
+            }
+            Some(t) => net.run_until(t),
+            None => {
+                return Err(err(
+                    "stalled: no pending events, arrivals or emissions but rounds incomplete",
+                ))
+            }
+        }
+    }
+
+    // Latency: every client's send time is arithmetic, so samples are
+    // reconstructed per completed round without per-client state.
+    let mut latency_samples_s = Vec::with_capacity(cfg.rounds * clients);
+    for (round, completion) in completions.iter().enumerate() {
+        let done = completion.expect("loop exits only when all rounds completed");
+        let start = round as u64 * cfg.round_interval_ns;
+        for c in 0..clients {
+            let sent = start + (c as u64 * cfg.arrival_spread_ns) / clients as u64;
+            latency_samples_s.push((done - sent) as f64 / 1e9);
+        }
+    }
+
+    let stats = net.stats();
+    let sim_seconds = completions
+        .iter()
+        .map(|c| c.expect("all completed"))
+        .max()
+        .unwrap_or(0) as f64
+        / 1e9;
+    let updates = (cfg.rounds * clients) as f64;
+    let ingress_payload_bytes = (cfg.rounds * clients * stage_payload_per_client[0]) as u64;
+    Ok(LoadOutcome {
+        clients,
+        rounds: cfg.rounds,
+        flush: cfg.flush,
+        sim_seconds,
+        sustained_updates_per_sec: updates / sim_seconds.max(f64::MIN_POSITIVE),
+        latency_samples_s,
+        peak_send_queue: stats.peak_send_queue,
+        peak_recv_queue: stats.peak_recv_queue,
+        wire_bytes_total: stats.bytes_sent,
+        ingress_wire_bytes,
+        ingress_payload_bytes,
+        bytes_on_wire_per_client: ingress_wire_bytes as f64 / updates,
+        framing_overhead: (ingress_wire_bytes.saturating_sub(ingress_payload_bytes)) as f64
+            / ingress_payload_bytes as f64,
+        packets_sent: stats.packets_sent,
+        packets_delivered: stats.packets_delivered,
+        events_processed: stats.events_processed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(flush: FlushPolicy) -> LoadConfig {
+        LoadConfig {
+            clients: 200,
+            rounds: 2,
+            hops: 2,
+            round_interval_ns: 2_000_000_000,
+            arrival_spread_ns: 200_000_000,
+            ..LoadConfig::paper(0, flush)
+        }
+    }
+
+    #[test]
+    fn completes_and_accounts_every_frame() {
+        let out = run_load(&small(FlushPolicy::Batched)).unwrap();
+        assert_eq!(out.latency_samples_s.len(), 400);
+        assert!(out.sim_seconds > 0.0);
+        assert!(out.sustained_updates_per_sec > 0.0);
+        assert!(out.latency_samples_s.iter().all(|&l| l > 0.0));
+        // 200 client bursts/round on ingress, 1 burst/hop/round beyond.
+        assert_eq!(out.packets_sent, out.packets_delivered);
+        assert_eq!(out.packets_sent, 2 * (200 + 2));
+    }
+
+    #[test]
+    fn batched_beats_per_envelope_and_overhead_is_small() {
+        let batched = run_load(&small(FlushPolicy::Batched)).unwrap();
+        let per_env = run_load(&small(FlushPolicy::PerEnvelope)).unwrap();
+        assert!(
+            batched.sim_seconds < per_env.sim_seconds,
+            "batched {} s vs per-envelope {} s",
+            batched.sim_seconds,
+            per_env.sim_seconds
+        );
+        assert!(batched.framing_overhead < 0.05);
+        assert!(batched.framing_overhead < per_env.framing_overhead);
+        assert!(batched.packets_sent < per_env.packets_sent);
+        // Same payload either way.
+        assert_eq!(batched.ingress_payload_bytes, per_env.ingress_payload_bytes);
+    }
+
+    #[test]
+    fn same_config_same_outcome() {
+        let a = run_load(&small(FlushPolicy::Batched)).unwrap();
+        let b = run_load(&small(FlushPolicy::Batched)).unwrap();
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.latency_samples_s, b.latency_samples_s);
+        assert_eq!(a.packets_sent, b.packets_sent);
+        assert_eq!(a.wire_bytes_total, b.wire_bytes_total);
+    }
+
+    #[test]
+    fn per_client_wire_bytes_match_the_codec_arithmetic() {
+        let out = run_load(&small(FlushPolicy::Batched)).unwrap();
+        // 5 layers of the paper signature with 2 seals each, batched into
+        // one burst per client.
+        let payload: usize = [2048usize, 2048, 1024, 512, 130]
+            .iter()
+            .map(|&l| envelope_bytes(l, 2))
+            .sum();
+        let expected = burst_overhead_bytes(5) + payload;
+        assert_eq!(out.bytes_on_wire_per_client, expected as f64);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(run_load(&LoadConfig {
+            clients: 0,
+            ..small(FlushPolicy::Batched)
+        })
+        .is_err());
+        assert!(run_load(&LoadConfig {
+            access: LinkConfig {
+                loss: 0.1,
+                ..LinkConfig::default()
+            },
+            ..small(FlushPolicy::Batched)
+        })
+        .is_err());
+        assert!(run_load(&LoadConfig {
+            arrival_spread_ns: 3_000_000_000,
+            ..small(FlushPolicy::Batched)
+        })
+        .is_err());
+        let mut cfg = small(FlushPolicy::Batched);
+        cfg.signature.clear();
+        assert!(run_load(&cfg).is_err());
+    }
+}

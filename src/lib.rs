@@ -12,6 +12,8 @@
 //! * [`fl`] — the federated-learning substrate (clients, server, rounds),
 //! * [`proxy`] — **the paper's contribution**: the layer-mixing proxy,
 //! * [`cascade`] — multi-hop onion-routed chains of mixing proxies,
+//! * [`net`] — a deterministic simulated network (frame batching, load
+//!   generation) the cascade and proxy can run over,
 //! * [`attacks`] — the ∇Sim attribute-inference attack,
 //! * [`crypto`] / [`enclave`] — the (simulated) SGX substrate the proxy
 //!   runs in.
@@ -28,5 +30,6 @@ pub use mixnn_crypto as crypto;
 pub use mixnn_data as data;
 pub use mixnn_enclave as enclave;
 pub use mixnn_fl as fl;
+pub use mixnn_net as net;
 pub use mixnn_nn as nn;
 pub use mixnn_tensor as tensor;

@@ -125,6 +125,114 @@ fn epc_exhaustion_fails_the_offending_update_only() {
 }
 
 #[test]
+fn wire_loss_under_skip_reroutes_only_the_affected_route_groups() {
+    use mixnn::cascade::{CascadeCoordinator, FailurePolicy, FreeRoute};
+    use mixnn::fl::{ModelUpdate, UpdateTransport};
+    use mixnn::net::{FlushPolicy, LinkConfig, NetCascadeTransport};
+    use mixnn::nn::ModelParams;
+    use mixnn::proxy::Endpoint;
+
+    // A free-route cascade (routes of 2-3 hops out of 3) whose hop 1
+    // falls off the network: every ingress segment into it drops all
+    // packets. Under the skip policy the round must survive — the dead
+    // hop is marked down and the groups re-partition onto the surviving
+    // routes.
+    let mut rng = StdRng::seed_from_u64(11);
+    let service = AttestationService::new(&mut rng);
+    let cascade = CascadeCoordinator::with_topology(
+        vec![8, 4],
+        Box::new(FreeRoute::new(3, 2, 3, 9)),
+        9,
+        FailurePolicy::Skip,
+        &service,
+        &mut rng,
+    )
+    .unwrap();
+    let mut transport = NetCascadeTransport::new(
+        cascade,
+        13,
+        LinkConfig::default(),
+        FlushPolicy::Batched,
+        200_000_000, // 200 ms of virtual time before a segment times out
+    );
+    for from in [Endpoint::Clients, Endpoint::Hop(0), Endpoint::Hop(2)] {
+        transport.link_mut().set_segment_config(
+            from,
+            Endpoint::Hop(1),
+            LinkConfig {
+                loss: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+    }
+
+    let ins: Vec<ModelUpdate> = (0..8).map(|i| ModelUpdate::new(i, params(i))).collect();
+    let outs = transport.relay(ins.clone()).unwrap();
+
+    // Exactly the unreachable hop was skipped, nothing else.
+    assert_eq!(transport.coordinator().skipped_hops(), vec![1]);
+    // The surviving route groups avoid it entirely and still partition
+    // the round — only groups that traversed hop 1 were rerouted; none
+    // were dropped.
+    let audit = transport.last_audit().unwrap();
+    let covered: usize = audit.groups().iter().map(|g| g.members()).sum();
+    assert_eq!(covered, 8);
+    for group in audit.groups() {
+        assert!(
+            !group.route().contains(&1),
+            "no surviving route may traverse the dead hop"
+        );
+        assert!(!group.route().is_empty(), "rerouting must keep mixing");
+    }
+    // Slots preserved, aggregate bit-exact, audit honest.
+    let in_slots: Vec<usize> = ins.iter().map(|u| u.client_id).collect();
+    let out_slots: Vec<usize> = outs.iter().map(|u| u.client_id).collect();
+    assert_eq!(in_slots, out_slots);
+    let a: Vec<ModelParams> = ins.into_iter().map(|u| u.params).collect();
+    let b: Vec<ModelParams> = outs.into_iter().map(|u| u.params).collect();
+    assert_eq!(ModelParams::mean(&a), ModelParams::mean(&b));
+    assert_eq!(audit.unmix(&b).unwrap(), a);
+}
+
+#[test]
+fn wire_timeout_under_abort_is_a_typed_timeout() {
+    use mixnn::cascade::{CascadeCoordinator, FailurePolicy};
+    use mixnn::fl::{FlError, ModelUpdate, UpdateTransport};
+    use mixnn::net::{FlushPolicy, LinkConfig, NetCascadeTransport};
+    use mixnn::proxy::Endpoint;
+
+    // The same outage under the abort policy: the round fails, and it
+    // fails with the *typed* timeout the FL loop can act on — not a
+    // stringly transport error.
+    let mut rng = StdRng::seed_from_u64(12);
+    let service = AttestationService::new(&mut rng);
+    let cascade =
+        CascadeCoordinator::linear(vec![8, 4], 2, 9, FailurePolicy::Abort, &service, &mut rng)
+            .unwrap();
+    let mut transport = NetCascadeTransport::new(
+        cascade,
+        13,
+        LinkConfig::default(),
+        FlushPolicy::Batched,
+        100_000_000,
+    );
+    transport.link_mut().set_segment_config(
+        Endpoint::Clients,
+        Endpoint::Hop(0),
+        LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::default()
+        },
+    );
+
+    let ins: Vec<ModelUpdate> = (0..4).map(|i| ModelUpdate::new(i, params(i))).collect();
+    let err = transport.relay(ins).unwrap_err();
+    assert!(matches!(err, FlError::Timeout { .. }), "got {err}");
+    // Abort never marks hops down — the operator decides what to do.
+    assert!(transport.coordinator().skipped_hops().is_empty());
+}
+
+#[test]
 fn partial_participation_rounds_still_aggregate() {
     use mixnn::data::motionsense_like;
     use mixnn::fl::{Dissemination, FlConfig, FlSimulation};
