@@ -23,6 +23,8 @@
 //!                                                   cascade: BENCH_cascade.json,
 //!                                                   topology: BENCH_topology.json,
 //!                                                   load: BENCH_load.json)
+//!   --metrics-out <path>                           write the run's Prometheus metrics
+//!                                                  snapshot (throughput/cascade/load)
 //! ```
 //!
 //! `throughput` sweeps the parallel ingest pipeline over worker counts
@@ -49,6 +51,9 @@ use mixnn_bench::experiments::{
     utility_cdf,
 };
 use mixnn_bench::{report, DatasetKind, Defense, ExperimentScale, ExperimentSetup};
+use mixnn_telemetry::{
+    check_counter_monotonicity, validate_prometheus, Registry, Telemetry, VirtualClock,
+};
 use std::process::ExitCode;
 
 /// The experiment registry: every runnable command with its one-line
@@ -128,6 +133,7 @@ struct Options {
     parallel: bool,
     out: Option<String>,
     load_clients: Option<usize>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -145,6 +151,7 @@ impl Default for Options {
             parallel: false,
             out: None,
             load_clients: None,
+            metrics_out: None,
         }
     }
 }
@@ -185,6 +192,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.load_clients = Some(take_value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
             }
             "--out" => opts.out = Some(take_value(&mut i)?),
+            "--metrics-out" => opts.metrics_out = Some(take_value(&mut i)?),
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -346,15 +354,62 @@ fn run_sysperf(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Splices the registry's JSON snapshot into a hand-rolled `{...}` BENCH
+/// artifact as a top-level `"telemetry"` key, so the shared registry's
+/// counters ship alongside the experiment rows they describe.
+fn embed_telemetry(artifact: String, telemetry: &Telemetry) -> String {
+    let trimmed = artifact.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("BENCH artifacts are JSON objects");
+    format!(
+        "{},\n  \"telemetry\": {}\n}}\n",
+        body.trim_end(),
+        telemetry.snapshot().to_json("  ")
+    )
+}
+
+/// Renders the registry's final Prometheus snapshot, enforces the export
+/// gates (well-formed exposition text, bounded cardinality, no forbidden
+/// label axes, counters monotone since `mid_prom`), and writes it to
+/// `--metrics-out` when requested.
+fn export_metrics(
+    telemetry: &Telemetry,
+    mid_prom: &str,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    let text = telemetry.snapshot().to_prometheus();
+    let summary = validate_prometheus(&text).map_err(|e| format!("metrics export invalid: {e}"))?;
+    check_counter_monotonicity(mid_prom, &text)
+        .map_err(|e| format!("counter regressed during the run: {e}"))?;
+    println!(
+        "Telemetry export validated: {} families, {} series, max {} label set(s) per family.",
+        summary.families, summary.series, summary.max_label_sets
+    );
+    if let Some(path) = metrics_out {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("Metrics written to {path}.");
+    }
+    Ok(())
+}
+
 fn run_throughput(opts: &Options) -> Result<(), String> {
     let out = opts.out.as_deref().unwrap_or("BENCH_throughput.json");
     let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, opts.scale, opts.seed);
+    let telemetry = Registry::new().shared();
     let clients: &[usize] = match opts.scale {
         ExperimentScale::Paper => &throughput::DEFAULT_CLIENTS,
         ExperimentScale::Quick => &[8, 32],
     };
-    let results = throughput::run(&setup, clients, &throughput::DEFAULT_WORKERS, opts.repeats)
-        .map_err(|e| e.to_string())?;
+    let results = throughput::run_with(
+        &setup,
+        clients,
+        &throughput::DEFAULT_WORKERS,
+        opts.repeats,
+        &telemetry,
+    )
+    .map_err(|e| e.to_string())?;
+    let mid_prom = telemetry.snapshot().to_prometheus();
     report::print_table(
         "Ingest throughput: parallel pipeline vs sequential (encrypted path)",
         &[
@@ -367,8 +422,11 @@ fn run_throughput(opts: &Options) -> Result<(), String> {
         ],
         &throughput::rows(&results),
     );
-    std::fs::write(out, throughput::to_json(&results))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(
+        out,
+        embed_telemetry(throughput::to_json(&results), &telemetry),
+    )
+    .map_err(|e| format!("writing {out}: {e}"))?;
     let threads = throughput::hardware_threads();
     println!(
         "\nAll worker counts produced bit-identical mixed outputs (verified).\n\
@@ -382,26 +440,57 @@ fn run_throughput(opts: &Options) -> Result<(), String> {
              ~min(workers, cores)x on the decrypt share of the budget elsewhere."
         );
     }
-    Ok(())
+
+    // The hooks stay enabled in production paths, so their cost is
+    // measured (enabled registry vs the no-op one) and gated every run.
+    // The pass must be long enough that scheduler jitter cannot fake a
+    // 2% delta — 64 updates is ~10 ms of decrypt even on one core.
+    let overhead_clients = match opts.scale {
+        ExperimentScale::Paper => 256,
+        ExperimentScale::Quick => 64,
+    };
+    let overhead = throughput::measure_overhead(opts.seed, overhead_clients, opts.repeats.max(15))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "Telemetry hook overhead (sequential ingest+mix, {} updates, min of {} repeats):\n\
+         enabled {:.4} s vs no-op {:.4} s -> {:+.2}% (gate: {:.0}%).",
+        overhead.clients,
+        overhead.repeats,
+        overhead.enabled_seconds,
+        overhead.noop_seconds,
+        overhead.overhead_fraction * 100.0,
+        throughput::MAX_TELEMETRY_OVERHEAD * 100.0,
+    );
+    if overhead.overhead_fraction > throughput::MAX_TELEMETRY_OVERHEAD {
+        return Err(format!(
+            "telemetry hook overhead {:.2}% exceeds the {:.0}% ceiling",
+            overhead.overhead_fraction * 100.0,
+            throughput::MAX_TELEMETRY_OVERHEAD * 100.0
+        ));
+    }
+    export_metrics(&telemetry, &mid_prom, opts.metrics_out.as_deref())
 }
 
 fn run_cascade(opts: &Options) -> Result<(), String> {
     let out = opts.out.as_deref().unwrap_or("BENCH_cascade.json");
     let setup = ExperimentSetup::at_scale(DatasetKind::Cifar10, opts.scale, opts.seed);
+    let telemetry = Registry::new().shared();
     let parallel_configs: &[(usize, usize)] = if opts.parallel {
         &cascade::EXTENDED_PARALLEL
     } else {
         &cascade::DEFAULT_PARALLEL
     };
-    let sweep = cascade::run(
+    let sweep = cascade::run_with(
         &setup,
         opts.scale,
         opts.clients,
         &cascade::DEFAULT_HOPS,
         parallel_configs,
         opts.repeats,
+        &telemetry,
     )
     .map_err(|e| e.to_string())?;
+    let mid_prom = telemetry.snapshot().to_prometheus();
     report::print_table(
         &format!(
             "Mix cascade: per-hop cost over hop counts {:?} ({} clients, onion path)",
@@ -438,8 +527,11 @@ fn run_cascade(opts: &Options) -> Result<(), String> {
         ],
         &cascade::parallel_rows(&sweep),
     );
-    std::fs::write(out, cascade::to_json(&sweep, opts.clients))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(
+        out,
+        embed_telemetry(cascade::to_json(&sweep, opts.clients), &telemetry),
+    )
+    .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "\nAsserted at every hop count: the unmixed server aggregate is bit-identical\n\
          to the single-proxy baseline, and the audit restores the original updates\n\
@@ -454,7 +546,7 @@ fn run_cascade(opts: &Options) -> Result<(), String> {
              ~min(workers, cores)x on the decrypt share of the budget elsewhere."
         );
     }
-    Ok(())
+    export_metrics(&telemetry, &mid_prom, opts.metrics_out.as_deref())
 }
 
 fn run_topology(opts: &Options) -> Result<(), String> {
@@ -505,7 +597,12 @@ fn run_topology(opts: &Options) -> Result<(), String> {
 
 fn run_load(opts: &Options) -> Result<(), String> {
     let out = opts.out.as_deref().unwrap_or("BENCH_load.json");
-    let rows = load::run(opts.scale, opts.load_clients, opts.seed)?;
+    // The load generator runs entirely in virtual time, so its registry
+    // gets a virtual clock: the simulator drives it and every recorded
+    // timestamp reproduces byte for byte.
+    let telemetry = Registry::with_virtual_clock(VirtualClock::default()).shared();
+    let rows = load::run_with(opts.scale, opts.load_clients, opts.seed, &telemetry)?;
+    let mid_prom = telemetry.snapshot().to_prometheus();
     report::print_table(
         &format!(
             "Simulated-network load: batched vs per-envelope flush ({} clients x {} rounds)",
@@ -527,7 +624,8 @@ fn run_load(opts: &Options) -> Result<(), String> {
         ],
         &load::rows(&rows),
     );
-    std::fs::write(out, load::to_json(&rows)).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, embed_telemetry(load::to_json(&rows), &telemetry))
+        .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "\nAll figures are virtual-time derived (deterministic per seed and config).\n\
          Verified before measuring: a real crypto-carrying cascade round delivered\n\
@@ -539,7 +637,11 @@ fn run_load(opts: &Options) -> Result<(), String> {
         load::MAX_FRAMING_OVERHEAD * 100.0,
         rows[0].roadmap_bytes_ratio,
     );
-    Ok(())
+    println!(
+        "Round trace: {} event(s) on the virtual clock (byte-identical across reruns).",
+        telemetry.trace_events().len()
+    );
+    export_metrics(&telemetry, &mid_prom, opts.metrics_out.as_deref())
 }
 
 fn print_experiment_list() {
@@ -585,6 +687,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "error: --out names a single file but 'all' writes several artifacts;\n\
                  run the experiments individually to redirect their outputs"
+            );
+            return ExitCode::FAILURE;
+        }
+        // Same clobbering hazard for the Prometheus export: each handler
+        // would overwrite the previous one's metrics file.
+        if opts.metrics_out.is_some() {
+            eprintln!(
+                "error: --metrics-out names a single file but 'all' runs several experiments;\n\
+                 run the experiments individually to export their metrics"
             );
             return ExitCode::FAILURE;
         }

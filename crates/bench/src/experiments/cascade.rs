@@ -31,6 +31,7 @@ use mixnn_cascade::{CascadeCoordinator, CascadeTopology, FailurePolicy, FreeRout
 use mixnn_core::{MixPlan, MixingStrategy, MixnnProxy, MixnnProxyConfig, Parallelism};
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
+use mixnn_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -176,6 +177,34 @@ pub fn run(
     parallel_configs: &[(usize, usize)],
     repeats: usize,
 ) -> Result<CascadeSweep, AttackError> {
+    run_with(
+        setup,
+        scale,
+        clients,
+        hop_counts,
+        parallel_configs,
+        repeats,
+        &mixnn_telemetry::noop(),
+    )
+}
+
+/// [`run`] with a telemetry registry attached to every coordinator the
+/// sweep drives, so round/group/hop counters and span timings accumulate
+/// into the shared registry `eval` exports.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with(
+    setup: &ExperimentSetup,
+    scale: ExperimentScale,
+    clients: usize,
+    hop_counts: &[usize],
+    parallel_configs: &[(usize, usize)],
+    repeats: usize,
+    telemetry: &Telemetry,
+) -> Result<CascadeSweep, AttackError> {
     if clients < 2 {
         // One client has an anonymity set of one no matter the chain; the
         // collusion invariants below would be vacuous lies at C = 1.
@@ -232,6 +261,7 @@ pub fn run(
                 &mut rng,
             )
             .map_err(mixnn_fl::FlError::from)?;
+            cascade.attach_telemetry(telemetry.clone());
 
             let t0 = Instant::now();
             let round = cascade
@@ -321,6 +351,7 @@ pub fn run(
         &baseline_aggregate,
         hop_counts.iter().copied().max().unwrap_or(1).max(2),
         parallel_configs,
+        telemetry,
     )?;
     Ok(CascadeSweep {
         perf,
@@ -345,6 +376,7 @@ fn parallel_sweep(
     baseline_aggregate: &ModelParams,
     hops: usize,
     configs: &[(usize, usize)],
+    telemetry: &Telemetry,
 ) -> Result<Vec<CascadeParallelRow>, AttackError> {
     let clients = originals.len();
     let rounds: Vec<Vec<ModelParams>> = (0..PARALLEL_SWEEP_ROUNDS)
@@ -371,6 +403,7 @@ fn parallel_sweep(
             pipeline_depth: depth,
             ..Parallelism::sequential()
         });
+        cascade.attach_telemetry(telemetry.clone());
         let t0 = Instant::now();
         let out = cascade
             .run_rounds(&rounds, &mut rng)

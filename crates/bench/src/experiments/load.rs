@@ -23,8 +23,9 @@ use crate::ExperimentScale;
 use mixnn_cascade::{CascadeCoordinator, CascadeTransport, FailurePolicy};
 use mixnn_enclave::AttestationService;
 use mixnn_fl::{ModelUpdate, UpdateTransport};
-use mixnn_net::{run_load, FlushPolicy, LinkConfig, LoadConfig, NetCascadeTransport};
+use mixnn_net::{run_load_with, FlushPolicy, LinkConfig, LoadConfig, NetCascadeTransport};
 use mixnn_nn::{LayerParams, ModelParams};
+use mixnn_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -63,6 +64,10 @@ pub struct LoadRow {
     pub roadmap_bytes_ratio: f64,
     /// Packets transmitted across all links.
     pub packets_sent: u64,
+    /// Packets lost in flight (zero for the healthy deployment modelled).
+    pub packets_lost: u64,
+    /// Packets that drew the slow reorder detour.
+    pub packets_reordered: u64,
     /// Wire bytes across all links.
     pub wire_bytes_total: u64,
     /// Simulator events processed.
@@ -134,6 +139,23 @@ pub fn run(
     clients: Option<usize>,
     seed: u64,
 ) -> Result<Vec<LoadRow>, String> {
+    run_with(scale, clients, seed, &mixnn_telemetry::noop())
+}
+
+/// [`run`] with a telemetry registry attached to the simulated network —
+/// the load generator drives the registry's virtual clock (if it carries
+/// one), so counters, queue-depth gauges and round trace events are all
+/// stamped in virtual nanoseconds and reproduce byte for byte.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn run_with(
+    scale: ExperimentScale,
+    clients: Option<usize>,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<Vec<LoadRow>, String> {
     fidelity_check(seed)?;
 
     let mut rows = Vec::with_capacity(2);
@@ -149,7 +171,7 @@ pub fn run(
             }
         };
         cfg.seed = seed;
-        let out = run_load(&cfg).map_err(|e| e.to_string())?;
+        let out = run_load_with(&cfg, telemetry).map_err(|e| e.to_string())?;
         let row = LoadRow {
             flush: flush.name(),
             clients: out.clients,
@@ -163,6 +185,8 @@ pub fn run(
             framing_overhead: out.framing_overhead,
             roadmap_bytes_ratio: out.bytes_on_wire_per_client / ROADMAP_BYTES_PER_CLIENT,
             packets_sent: out.packets_sent,
+            packets_lost: out.packets_lost,
+            packets_reordered: out.packets_reordered,
             wire_bytes_total: out.wire_bytes_total,
             events_processed: out.events_processed,
         };
@@ -225,6 +249,7 @@ pub fn to_json(results: &[LoadRow]) -> String {
              \"peak_send_queue\": {}, \"peak_recv_queue\": {}, \
              \"bytes_on_wire_per_client\": {:.2}, \"framing_overhead\": {:.6}, \
              \"roadmap_bytes_ratio\": {:.4}, \"packets_sent\": {}, \
+             \"packets_lost\": {}, \"packets_reordered\": {}, \
              \"wire_bytes_total\": {}, \"events_processed\": {}}}{}\n",
             r.flush,
             r.clients,
@@ -240,6 +265,8 @@ pub fn to_json(results: &[LoadRow]) -> String {
             r.framing_overhead,
             r.roadmap_bytes_ratio,
             r.packets_sent,
+            r.packets_lost,
+            r.packets_reordered,
             r.wire_bytes_total,
             r.events_processed,
             if i + 1 < results.len() { "," } else { "" },
@@ -263,6 +290,10 @@ mod tests {
         assert!(rows[0].framing_overhead < MAX_FRAMING_OVERHEAD);
         assert!(rows[0].latency.p50 <= rows[0].latency.p99);
         assert!(rows[0].latency.p99 <= rows[0].latency.p999);
+        // The generator models a healthy deployment: nothing may be
+        // lost, and the default links draw no reorder detours.
+        assert_eq!(rows[0].packets_lost, 0);
+        assert_eq!(rows[0].packets_reordered, 0);
         // Paper-signature envelopes with 2 remaining seals land near the
         // ROADMAP per-client figure.
         assert!(
@@ -299,6 +330,8 @@ mod tests {
             "bytes_on_wire_per_client",
             "framing_overhead",
             "roadmap_bytes_ratio",
+            "packets_lost",
+            "packets_reordered",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

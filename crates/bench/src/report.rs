@@ -56,15 +56,20 @@ pub fn fmt_mb(bytes: usize) -> String {
 }
 
 /// The `q`-quantile (`0.0 ..= 1.0`) of `samples` by linear interpolation
-/// between closest ranks; `0.0` for an empty slice. The input need not
-/// be sorted.
+/// between closest ranks. The input need not be sorted. Degenerate
+/// inputs degrade instead of panicking: non-finite samples (NaN, ±∞)
+/// are ignored, an input with no finite samples yields `0.0`, `q`
+/// outside `[0, 1]` is clamped, and a NaN `q` reads as `0.0` (the
+/// minimum) — so a report renders something sensible out of whatever a
+/// partially failed run produced.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    sorted.sort_by(f64::total_cmp);
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
@@ -88,8 +93,9 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Summarizes `samples` (unsorted is fine; empty yields all zeros —
-    /// a single sample is its own median and tail).
+    /// Summarizes `samples` (unsorted is fine; empty or all-non-finite
+    /// yields all zeros — a single sample is its own median and tail,
+    /// and NaN/±∞ samples are ignored like [`percentile`] does).
     pub fn from_samples(samples: &[f64]) -> Self {
         Percentiles {
             p50: percentile(samples, 0.50),
@@ -137,6 +143,29 @@ mod tests {
         assert_eq!((one.p50, one.p99, one.p999), (7.0, 7.0, 7.0));
         let none = Percentiles::from_samples(&[]);
         assert_eq!((none.p50, none.p99, none.p999), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn percentile_ignores_non_finite_samples() {
+        // NaNs and infinities drop out; the finite samples summarize.
+        let noisy = [f64::NAN, 3.0, f64::INFINITY, 1.0, f64::NEG_INFINITY, 2.0];
+        assert_eq!(percentile(&noisy, 0.5), 2.0);
+        assert_eq!(percentile(&noisy, 0.0), 1.0);
+        assert_eq!(percentile(&noisy, 1.0), 3.0);
+        // No finite samples at all degrades to zero, not a panic.
+        assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 0.5), 0.0);
+        let p = Percentiles::from_samples(&[f64::NAN]);
+        assert_eq!((p.p50, p.p99, p.p999), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn percentile_clamps_degenerate_quantiles() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&samples, -0.5), 1.0);
+        assert_eq!(percentile(&samples, 1.5), 4.0);
+        assert_eq!(percentile(&samples, f64::INFINITY), 4.0);
+        assert_eq!(percentile(&samples, f64::NEG_INFINITY), 1.0);
+        assert_eq!(percentile(&samples, f64::NAN), 1.0);
     }
 
     #[test]

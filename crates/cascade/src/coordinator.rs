@@ -34,6 +34,7 @@ use mixnn_core::{
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
+use mixnn_telemetry::{Component, Counter, Distribution, Span, Telemetry, TraceKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -416,6 +417,8 @@ pub struct CascadeCoordinator {
     signature: Vec<usize>,
     policy: FailurePolicy,
     parallelism: Parallelism,
+    telemetry: Telemetry,
+    rounds_driven: u64,
 }
 
 impl CascadeCoordinator {
@@ -466,7 +469,47 @@ impl CascadeCoordinator {
             signature: config.expected_signature,
             policy: config.policy,
             parallelism: config.parallelism,
+            telemetry: mixnn_telemetry::noop(),
+            rounds_driven: 0,
         })
+    }
+
+    /// Attaches a telemetry registry to the coordinator and every hop.
+    ///
+    /// Round/group counters are recorded from commit points shared by the
+    /// sequential, concurrent-group, and pipelined drives, and hop
+    /// counters mirror the canonical-order stats absorption — recorded
+    /// values are bit-identical at every [`Parallelism`] setting.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        for hop in &mut self.hops {
+            hop.attach_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Round-success accounting shared by every drive path: one span
+    /// observation, the round/group counters, and the canonical-order
+    /// trace events derived from the committed audit (which is itself
+    /// bit-identical across knobs).
+    fn record_round_success(&self, round: &CascadeRound, ordinal: u64, elapsed_ns: u64) {
+        self.telemetry
+            .record_span_ns(Span::CascadeRound, elapsed_ns);
+        self.telemetry.incr(Counter::CascadeRoundsCompleted, 1);
+        let groups = round.audit.groups();
+        self.telemetry
+            .incr(Counter::CascadeGroupsMixed, groups.len() as u64);
+        for group in groups {
+            let members = group.slots().len() as u64;
+            self.telemetry
+                .observe(Distribution::CascadeGroupMembers, members);
+            self.telemetry
+                .trace(Component::Cascade, None, TraceKind::GroupMixed { members });
+        }
+        self.telemetry.trace(
+            Component::Cascade,
+            None,
+            TraceKind::RoundCompleted { round: ordinal },
+        );
     }
 
     /// Convenience constructor for the classic linear cascade: `hop_count`
@@ -901,6 +944,41 @@ impl CascadeCoordinator {
             }
         }
 
+        let ordinal = self.rounds_driven;
+        self.rounds_driven += 1;
+        self.telemetry.trace(
+            Component::Cascade,
+            None,
+            TraceKind::RoundStarted { round: ordinal },
+        );
+        let t0 = self.telemetry.now_ns();
+        let result = self.drive_round(updates, rng, link);
+        let elapsed_ns = self.telemetry.now_ns().saturating_sub(t0);
+        match &result {
+            Ok(round) => self.record_round_success(round, ordinal, elapsed_ns),
+            Err(_) => {
+                self.telemetry
+                    .record_span_ns(Span::CascadeRound, elapsed_ns);
+                self.telemetry.incr(Counter::CascadeRoundsAborted, 1);
+                self.telemetry.trace(
+                    Component::Cascade,
+                    None,
+                    TraceKind::RoundAborted { round: ordinal },
+                );
+            }
+        }
+        result
+    }
+
+    /// The retry-looped body behind [`CascadeCoordinator::run_round_over`],
+    /// split out so the wrapper can account the round exactly once no
+    /// matter how many skip-and-reroute attempts the drive takes.
+    fn drive_round<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[ModelParams],
+        rng: &mut R,
+        link: &mut dyn RoundLink,
+    ) -> Result<CascadeRound, CascadeError> {
         let mut skipped_this_round = Vec::new();
         'retry: loop {
             let groups = self.active_groups(updates.len())?;
@@ -943,6 +1021,12 @@ impl CascadeCoordinator {
                                 // had failed.
                                 self.skipped[h] = true;
                                 skipped_this_round.push(h);
+                                self.telemetry.incr(Counter::CascadeHopsSkipped, 1);
+                                self.telemetry.trace(
+                                    Component::Cascade,
+                                    Some(h as u16),
+                                    TraceKind::HopSkipped,
+                                );
                                 continue 'retry;
                             }
                         },
@@ -957,6 +1041,12 @@ impl CascadeCoordinator {
                             FailurePolicy::Skip => {
                                 self.skipped[h] = true;
                                 skipped_this_round.push(h);
+                                self.telemetry.incr(Counter::CascadeHopsSkipped, 1);
+                                self.telemetry.trace(
+                                    Component::Cascade,
+                                    Some(h as u16),
+                                    TraceKind::HopSkipped,
+                                );
                                 continue 'retry;
                             }
                         },
@@ -973,6 +1063,12 @@ impl CascadeCoordinator {
                             // is unreachable.
                             self.skipped[last] = true;
                             skipped_this_round.push(last);
+                            self.telemetry.incr(Counter::CascadeHopsSkipped, 1);
+                            self.telemetry.trace(
+                                Component::Cascade,
+                                Some(last as u16),
+                                TraceKind::HopSkipped,
+                            );
                             continue 'retry;
                         }
                     },
@@ -1031,7 +1127,24 @@ impl CascadeCoordinator {
         let depth = self.parallelism.pipeline_depth;
 
         if depth > 1 && rounds.len() > 1 {
+            let t0 = self.telemetry.now_ns();
             if let Some(out) = self.try_pipelined_rounds(rounds, &seeds) {
+                // The pipelined drive commits without passing through
+                // `run_round_over`, so account each committed round here —
+                // same counters, same canonical trace order, wall-clock
+                // split evenly across the batch.
+                let elapsed_ns = self.telemetry.now_ns().saturating_sub(t0);
+                let per_round_ns = elapsed_ns / out.len() as u64;
+                for round in &out {
+                    let ordinal = self.rounds_driven;
+                    self.rounds_driven += 1;
+                    self.telemetry.trace(
+                        Component::Cascade,
+                        None,
+                        TraceKind::RoundStarted { round: ordinal },
+                    );
+                    self.record_round_success(round, ordinal, per_round_ns);
+                }
                 return Ok(out);
             }
             // Fall back: nothing was committed; the sequential loop below

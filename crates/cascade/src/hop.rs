@@ -36,6 +36,7 @@ use crate::{CascadeError, OnionUpdate};
 use mixnn_core::{map_chunked, MixPlan, Parallelism, ProxyError, ProxyStats};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
+use mixnn_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -96,6 +97,7 @@ pub struct CascadeHop {
     layers: usize,
     stats: ProxyStats,
     parallelism: Parallelism,
+    telemetry: Telemetry,
 }
 
 /// One onion after the stateless ingest stage: its unwrapped per-layer
@@ -156,7 +158,28 @@ impl CascadeHop {
             layers,
             stats: ProxyStats::default(),
             parallelism: config.parallelism,
+            telemetry: mixnn_telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry registry (the coordinator propagates its own
+    /// handle here). Counters mirror the hop's [`ProxyStats`] absorption
+    /// points, which run in canonical order on every drive path — recorded
+    /// values are therefore identical at every worker count.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Mirrors an absorbed stats delta into the telemetry counters.
+    fn record_absorb(&self, delta: &ProxyStats) {
+        self.telemetry
+            .incr(Counter::CascadeUpdatesIngested, delta.updates_received);
+        self.telemetry
+            .incr(Counter::CascadeUpdatesRejected, delta.updates_rejected);
+        self.telemetry
+            .incr(Counter::CascadeUpdatesForwarded, delta.updates_forwarded);
+        self.telemetry
+            .incr(Counter::CascadeBytesReceived, delta.bytes_received);
     }
 
     /// The hop's worker configuration.
@@ -472,6 +495,7 @@ impl CascadeHop {
         let mut delta = ProxyStats::default();
         let ingested = self.ingest_round(incoming, self.parallelism.ingest_workers, &mut delta);
         self.stats.absorb(&delta);
+        self.record_absorb(&delta);
         let (rows, charged, depth) = ingested?;
 
         // The shared round-plan policy (`MixPlan::for_round`) keeps this
@@ -482,6 +506,7 @@ impl CascadeHop {
         let mut delta = ProxyStats::default();
         let finished = self.finish_round(rows, charged, depth, plan, &mut delta);
         self.stats.absorb(&delta);
+        self.record_absorb(&delta);
         finished
     }
 
@@ -517,6 +542,7 @@ impl CascadeHop {
     /// group order after a successful concurrent round).
     pub(crate) fn absorb_stats(&mut self, delta: &ProxyStats) {
         self.stats.absorb(delta);
+        self.record_absorb(delta);
     }
 
     /// Draws the plan this hop would use for a round of `participants`

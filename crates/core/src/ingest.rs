@@ -16,6 +16,7 @@
 use crate::parallel::{map_chunked_batched, Parallelism};
 use crate::{MixnnProxy, ProxyError};
 use mixnn_nn::ModelParams;
+use mixnn_telemetry::{Component, TraceKind};
 
 /// Fans the stateless half of ingest across worker threads, then commits
 /// in submission order.
@@ -99,6 +100,13 @@ impl ParallelIngest {
             )
         }
 
+        proxy.telemetry().trace(
+            Component::Core,
+            None,
+            TraceKind::IngestStaged {
+                updates: sealed.len() as u64,
+            },
+        );
         let mut results = Vec::with_capacity(sealed.len());
         // Sticky once EPC pressure is seen: sequential from here on.
         let mut degraded = false;
@@ -149,6 +157,15 @@ impl ParallelIngest {
                 results.push(proxy.commit_staged(s.len(), result));
             }
         }
+        let accepted = results.iter().filter(|r| r.is_ok()).count() as u64;
+        proxy.telemetry().trace(
+            Component::Core,
+            None,
+            TraceKind::IngestCommitted {
+                accepted,
+                rejected: results.len() as u64 - accepted,
+            },
+        );
         results
     }
 }

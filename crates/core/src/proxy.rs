@@ -21,6 +21,7 @@ use crate::{codec, BatchMixer, MixPlan, MixingStrategy, ProxyError, StreamingMix
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
 use mixnn_nn::ModelParams;
+use mixnn_telemetry::{Component, Counter, Distribution, Span, Telemetry, TraceKind};
 use rand::Rng;
 use std::time::Instant;
 
@@ -197,6 +198,7 @@ pub struct MixnnProxy {
     stats: ProxyStats,
     seed: u64,
     parallelism: Parallelism,
+    telemetry: Telemetry,
 }
 
 impl MixnnProxy {
@@ -232,7 +234,21 @@ impl MixnnProxy {
             stats: ProxyStats::default(),
             seed: config.seed,
             parallelism: config.parallelism,
+            telemetry: mixnn_telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry registry. Hooks are always wired (the default
+    /// handle is the shared no-op registry); counters fire only from
+    /// serialized accounting paths, so recorded values are independent of
+    /// the [`Parallelism`] knobs.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (the no-op registry by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The enclave public key participants encrypt to (`k_pub`).
@@ -444,9 +460,12 @@ impl MixnnProxy {
             Err(e) => {
                 self.stats.updates_rejected += 1;
                 self.stats.bytes_rejected += sealed_len as u64;
+                self.telemetry.incr(Counter::CoreUpdatesRejected, 1);
                 return Err(e);
             }
         };
+        // The staged result only exists if the sealed envelope opened.
+        self.telemetry.incr(Counter::CoreEnvelopesOpened, 1);
 
         let t0 = Instant::now();
         if let Err(e) = self.check_signature(&staged.params) {
@@ -455,6 +474,7 @@ impl MixnnProxy {
             self.enclave.memory().free(staged.footprint)?;
             self.stats.updates_rejected += 1;
             self.stats.bytes_rejected += sealed_len as u64;
+            self.telemetry.incr(Counter::CoreUpdatesRejected, 1);
             return Err(e);
         }
         let emitted = if let Some(streaming) = &mut self.streaming {
@@ -471,6 +491,9 @@ impl MixnnProxy {
         self.stats.decrypt_seconds += staged.decrypt_seconds;
         self.stats.store_seconds += staged.decode_seconds + t0.elapsed().as_secs_f64();
         self.stats.updates_received += 1;
+        self.telemetry.incr(Counter::CoreUpdatesCommitted, 1);
+        self.telemetry
+            .incr(Counter::CoreBytesReceived, sealed_len as u64);
 
         if let Some(out) = emitted {
             self.stats.updates_forwarded += 1;
@@ -504,6 +527,7 @@ impl MixnnProxy {
     ///
     /// Returns [`ProxyError::InsufficientUpdates`] if nothing is buffered.
     pub fn mix_batch(&mut self) -> Result<Vec<ModelParams>, ProxyError> {
+        let _span = self.telemetry.span(Span::CoreMixBatch);
         let t0 = Instant::now();
         let updates = std::mem::take(&mut self.batch_buffer);
         let result = self
@@ -519,6 +543,16 @@ impl MixnnProxy {
                 self.stats.mix_seconds += t0.elapsed().as_secs_f64();
                 self.stats.updates_forwarded += mixed.len() as u64;
                 self.last_plan = Some(plan);
+                self.telemetry.incr(Counter::CoreBatchesMixed, 1);
+                self.telemetry
+                    .observe(Distribution::CoreMixBatchUpdates, mixed.len() as u64);
+                self.telemetry.trace(
+                    Component::Core,
+                    None,
+                    TraceKind::BatchMixed {
+                        updates: mixed.len() as u64,
+                    },
+                );
                 Ok(mixed)
             }
             Err(e) => {

@@ -5,6 +5,7 @@ use crate::{
 };
 use mixnn_data::{Dataset, FederatedDataset};
 use mixnn_nn::{Evaluation, ModelParams, Sequential, SoftmaxCrossEntropy};
+use mixnn_telemetry::{Component, Counter, Distribution, Span, Telemetry, TraceKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -44,6 +45,7 @@ pub struct FlSimulation {
     server: AggregationServer,
     sampler: StdRng,
     rounds_run: usize,
+    telemetry: Telemetry,
 }
 
 impl FlSimulation {
@@ -66,7 +68,15 @@ impl FlSimulation {
             cfg,
             // rounds_run counts invocations of `run_round*`, used for seeding.
             rounds_run: 0,
+            telemetry: mixnn_telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry registry: each round records its span,
+    /// participant count and lifecycle trace events. Only aggregate,
+    /// selection-size-level figures are recorded — never per-client ids.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The architecture template (initial weights included).
@@ -145,6 +155,14 @@ impl FlSimulation {
             return Err(FlError::EmptyRound);
         }
         let round = self.rounds_run;
+        self.telemetry.trace(
+            Component::Fl,
+            None,
+            TraceKind::RoundStarted {
+                round: round as u64,
+            },
+        );
+        let round_t0 = self.telemetry.now_ns();
 
         // Resolve clients and their disseminated models up front.
         let mut work: Vec<(&FlClient, &ModelParams, u64)> = Vec::with_capacity(selected.len());
@@ -181,6 +199,20 @@ impl FlSimulation {
         let observed = transport.relay(updates)?;
         let global_after = self.server.aggregate(&observed)?.clone();
         self.rounds_run += 1;
+        let elapsed_ns = self.telemetry.now_ns().saturating_sub(round_t0);
+        self.telemetry.record_span_ns(Span::FlRound, elapsed_ns);
+        self.telemetry.incr(Counter::FlRoundsCompleted, 1);
+        self.telemetry
+            .incr(Counter::FlClientsTrained, selected.len() as u64);
+        self.telemetry
+            .observe(Distribution::FlRoundParticipants, selected.len() as u64);
+        self.telemetry.trace(
+            Component::Fl,
+            None,
+            TraceKind::RoundCompleted {
+                round: round as u64,
+            },
+        );
         Ok(RoundOutcome {
             round,
             disseminated: dissemination,

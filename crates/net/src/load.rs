@@ -20,6 +20,7 @@ use crate::frame::{burst_overhead_bytes, FRAME_HEADER_BYTES};
 use crate::link::FlushPolicy;
 use crate::sim::{LinkConfig, Packet, SimNet};
 use mixnn_crypto::sealed_box::OVERHEAD as SEAL_OVERHEAD;
+use mixnn_telemetry::{Component, Telemetry, TraceKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
@@ -129,6 +130,10 @@ pub struct LoadOutcome {
     pub packets_sent: u64,
     /// Packets delivered into receive queues.
     pub packets_delivered: u64,
+    /// Packets lost in flight (zero for a healthy deployment).
+    pub packets_lost: u64,
+    /// Packets that took the slow reorder detour.
+    pub packets_reordered: u64,
     /// Simulator events processed.
     pub events_processed: u64,
 }
@@ -211,6 +216,19 @@ impl PendingOut {
 /// wider than the round interval), and aborts with a timeout error if a
 /// round fails to complete `timeout_ns` after its start.
 pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, LoadError> {
+    run_load_with(cfg, &mixnn_telemetry::noop())
+}
+
+/// [`run_load`] with a telemetry registry attached to the simulator: net
+/// counters and queue-peak gauges accumulate into it, each completed
+/// round leaves a trace event stamped in **virtual** nanoseconds (the
+/// simulator drives the registry's virtual clock, if it carries one), so
+/// two runs of the same config produce byte-identical trace text.
+///
+/// # Errors
+///
+/// Same conditions as [`run_load`].
+pub fn run_load_with(cfg: &LoadConfig, telemetry: &Telemetry) -> Result<LoadOutcome, LoadError> {
     if cfg.clients == 0 || cfg.rounds == 0 || cfg.hops == 0 {
         return Err(err("clients, rounds and hops must all be non-zero"));
     }
@@ -233,6 +251,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, LoadError> {
 
     // Wire the linear chain: clients -> hop 0 -> ... -> server.
     let mut net = SimNet::new(cfg.seed);
+    net.attach_telemetry(telemetry.clone());
     let client_node = net.add_node();
     let hop_nodes: Vec<usize> = (0..hops).map(|_| net.add_node()).collect();
     let server_node = net.add_node();
@@ -316,6 +335,11 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, LoadError> {
             if server_frames[round] == frames_per_round {
                 completions[round] = Some(net.now_ns());
                 completed += 1;
+                telemetry.trace(
+                    Component::Net,
+                    None,
+                    TraceKind::RoundCompleted { round: packet.tag },
+                );
             }
         }
 
@@ -461,6 +485,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, LoadError> {
             / ingress_payload_bytes as f64,
         packets_sent: stats.packets_sent,
         packets_delivered: stats.packets_delivered,
+        packets_lost: stats.packets_lost,
+        packets_reordered: stats.packets_reordered,
         events_processed: stats.events_processed,
     })
 }

@@ -26,6 +26,7 @@
 //! The equivalence suite leans on this: a round delivered over a
 //! `SimNet` with zero loss is bit-identical to the in-process drive.
 
+use mixnn_telemetry::{Counter, Gauge, Telemetry, VirtualClock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -125,6 +126,8 @@ pub struct NetStats {
     pub packets_lost: u64,
     /// Packets delivered into a receive queue.
     pub packets_delivered: u64,
+    /// Packets that drew the slow reorder detour at transmission.
+    pub packets_reordered: u64,
     /// Wire bytes of every transmitted packet.
     pub bytes_sent: u64,
     /// Deepest any link's send queue ever got.
@@ -206,6 +209,8 @@ pub struct SimNet {
     events: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
     stats: NetStats,
+    telemetry: Telemetry,
+    vclock: Option<VirtualClock>,
 }
 
 impl SimNet {
@@ -220,6 +225,33 @@ impl SimNet {
             events: BinaryHeap::new(),
             next_seq: 0,
             stats: NetStats::default(),
+            telemetry: mixnn_telemetry::noop(),
+            vclock: None,
+        }
+    }
+
+    /// Attaches a telemetry registry. If the registry carries a
+    /// [`VirtualClock`], the simulator drives it: every event processed
+    /// (and every [`SimNet::run_until`] deadline) pushes the virtual
+    /// time into the clock, so span and trace timestamps recorded
+    /// anywhere in the system are taken in simulated nanoseconds —
+    /// byte-identical across reruns of the same scenario.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.vclock = telemetry.virtual_clock();
+        if let Some(vc) = &self.vclock {
+            vc.set_ns(self.clock_ns);
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry registry (the shared no-op one by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn sync_vclock(&self) {
+        if let Some(vc) = &self.vclock {
+            vc.set_ns(self.clock_ns);
         }
     }
 
@@ -304,6 +336,8 @@ impl SimNet {
         link.queue.push_back(packet);
         link.peak_queue = link.peak_queue.max(link.queue.len());
         self.stats.peak_send_queue = self.stats.peak_send_queue.max(link.queue.len());
+        self.telemetry
+            .gauge_max(Gauge::NetPeakSendQueue, self.stats.peak_send_queue as u64);
         if !link.scheduled && !link.stalled {
             link.scheduled = true;
             self.schedule(self.clock_ns, EventKind::TxReady { from, to });
@@ -365,6 +399,7 @@ impl SimNet {
         };
         debug_assert!(event.time_ns >= self.clock_ns, "time moves forward");
         self.clock_ns = event.time_ns;
+        self.sync_vclock();
         self.stats.events_processed += 1;
         match event.kind {
             EventKind::TxReady { from, to } => self.on_tx_ready(from, to),
@@ -388,6 +423,7 @@ impl SimNet {
             self.step();
         }
         self.clock_ns = self.clock_ns.max(deadline_ns);
+        self.sync_vclock();
     }
 
     /// Processes events until the simulator is idle.
@@ -416,6 +452,9 @@ impl SimNet {
         self.nodes[to].reserved += 1;
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += packet.bytes as u64;
+        self.telemetry.incr(Counter::NetPacketsSent, 1);
+        self.telemetry
+            .incr(Counter::NetWireBytes, packet.bytes as u64);
         let tx_done = self.clock_ns + cfg.per_packet_ns + packet.bytes as u64 * cfg.per_byte_ns;
         // All randomness draws happen here, in transmission order.
         let lost = cfg.loss > 0.0 && self.rng.gen_bool(cfg.loss.min(1.0));
@@ -428,6 +467,8 @@ impl SimNet {
                 0
             };
             let detour = if cfg.reorder > 0.0 && self.rng.gen_bool(cfg.reorder.min(1.0)) {
+                self.stats.packets_reordered += 1;
+                self.telemetry.incr(Counter::NetPacketsReordered, 1);
                 cfg.reorder_extra_ns
             } else {
                 0
@@ -453,6 +494,7 @@ impl SimNet {
         node.reserved = node.reserved.saturating_sub(1);
         if lost {
             self.stats.packets_lost += 1;
+            self.telemetry.incr(Counter::NetPacketsLost, 1);
             // The reserved slot frees without a delivery; a stalled
             // inbound link may now proceed.
             self.release_stalled_into(to);
@@ -461,7 +503,10 @@ impl SimNet {
         node.rx.push_back((from, packet));
         node.peak_rx = node.peak_rx.max(node.rx.len());
         self.stats.peak_recv_queue = self.stats.peak_recv_queue.max(node.rx.len());
+        self.telemetry
+            .gauge_max(Gauge::NetPeakRecvQueue, self.stats.peak_recv_queue as u64);
         self.stats.packets_delivered += 1;
+        self.telemetry.incr(Counter::NetPacketsDelivered, 1);
     }
 }
 

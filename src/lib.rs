@@ -14,6 +14,8 @@
 //! * [`cascade`] — multi-hop onion-routed chains of mixing proxies,
 //! * [`net`] — a deterministic simulated network (frame batching, load
 //!   generation) the cascade and proxy can run over,
+//! * [`telemetry`] — deterministic, aggregate-only metrics and round
+//!   tracing with privacy-audited Prometheus/JSON exporters,
 //! * [`attacks`] — the ∇Sim attribute-inference attack,
 //! * [`crypto`] / [`enclave`] — the (simulated) SGX substrate the proxy
 //!   runs in.
@@ -32,4 +34,5 @@ pub use mixnn_enclave as enclave;
 pub use mixnn_fl as fl;
 pub use mixnn_net as net;
 pub use mixnn_nn as nn;
+pub use mixnn_telemetry as telemetry;
 pub use mixnn_tensor as tensor;
