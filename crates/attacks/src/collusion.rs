@@ -245,6 +245,27 @@ impl RoutedCollusionReport {
             .count()
     }
 
+    /// The anonymity-set sizes of the round's *real* clients only.
+    ///
+    /// Pooled rounds append hop-generated cover updates as trailing
+    /// slots, so slots `0..real` are the genuine clients and the rest
+    /// are dummies whose "anonymity" is meaningless (nobody sent them).
+    /// This is the slice the cover-traffic indistinguishability checks
+    /// compare against a dummy-free baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real` exceeds the analyzed client count.
+    pub fn real_client_anonymity(&self, real: usize) -> &[usize] {
+        assert!(
+            real <= self.per_client_anonymity.len(),
+            "round analyzed {} slots but {} real clients claimed",
+            self.per_client_anonymity.len(),
+            real
+        );
+        &self.per_client_anonymity[..real]
+    }
+
     /// The distribution of per-client anonymity-set sizes, as ascending
     /// `(size, count)` pairs — the quantity `eval topology` records.
     pub fn anonymity_distribution(&self) -> Vec<(usize, usize)> {
@@ -533,6 +554,26 @@ mod tests {
         assert_eq!(report.per_client_anonymity, vec![4; 4]);
         assert_eq!(report.linkable_fraction, 0.0);
         assert_eq!(report.mean_anonymity_set, 4.0);
+    }
+
+    #[test]
+    fn real_client_anonymity_is_the_leading_slice() {
+        // A dummy-padded group: slots 2..4 are trailing cover, so only
+        // slots 0..2 count as real clients.
+        let a_plans = plans(2, 4, 3, 13);
+        let report =
+            analyze_routed_collusion(&[group(&[0, 1, 2, 3], &[1, 3], &a_plans, &[1])], 4, 3);
+        assert_eq!(report.real_client_anonymity(2), &[4, 4]);
+        assert_eq!(report.real_client_anonymity(4), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "real clients claimed")]
+    fn real_client_anonymity_rejects_too_many_reals() {
+        let a_plans = plans(2, 4, 3, 13);
+        let report =
+            analyze_routed_collusion(&[group(&[0, 1, 2, 3], &[1, 3], &a_plans, &[1])], 4, 3);
+        let _ = report.real_client_anonymity(5);
     }
 
     #[test]

@@ -4,6 +4,7 @@ pub mod background;
 pub mod cascade;
 pub mod inference;
 pub mod load;
+pub mod pooled;
 pub mod robustness;
 pub mod sysperf;
 pub mod throughput;

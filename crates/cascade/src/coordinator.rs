@@ -93,6 +93,88 @@ pub struct CascadeRound {
     pub skipped_this_round: Vec<usize>,
 }
 
+/// A round driven under a k-floor
+/// ([`CascadeCoordinator::run_padded_round_over`]): the cascade round over
+/// the padded slots, the number of real updates, and the content digests
+/// of the injected cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaddedRound {
+    /// The committed round over **all** driven slots — real updates in
+    /// slots `0..real`, cover in the trailing slots. `round.mixed` is what
+    /// the wire delivered to the server, cover still in.
+    pub round: CascadeRound,
+    /// Number of real client updates the round carried.
+    pub real: usize,
+    /// [`mixnn_core::codec::layer_digest`] of every layer of each injected
+    /// cover update, in injection order (`dummy_digests[d][l]` is cover
+    /// `d`'s layer `l`) — the only knowledge the server needs (or gets) to
+    /// strip cover.
+    pub dummy_digests: Vec<Vec<[u8; 32]>>,
+}
+
+impl PaddedRound {
+    /// Number of cover updates injected into the round that committed.
+    pub fn dummies(&self) -> usize {
+        self.dummy_digests.len()
+    }
+
+    /// The server-boundary view: the mixed outputs with cover stripped
+    /// **by per-layer content digest** — the server never learns which
+    /// slot carried cover, only which layer bytes were announced as cover.
+    ///
+    /// Mixing permutes every layer *independently* across a group's
+    /// slots, so a cover update's layers scatter over different output
+    /// slots (and a trailing cover slot routinely carries real bytes);
+    /// stripping whole slots or whole-model digests would corrupt the
+    /// aggregate. Stripping each layer column by digest instead leaves
+    /// every column holding exactly the real updates' layer multiset, and
+    /// [`ModelParams::mean`] is exactly permutation-invariant per layer —
+    /// so the stripped aggregate is bit-identical to a dummy-free
+    /// round's. The returned models are column-wise recombinations, just
+    /// as every mixed output already is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::Pool`] if any layer column does not strip
+    /// to exactly the real update count (a digest collision or a
+    /// round/digest mismatch — either way the aggregate cannot be
+    /// trusted).
+    pub fn server_outputs(&self) -> Result<Vec<ModelParams>, CascadeError> {
+        if self.dummy_digests.is_empty() {
+            return Ok(self.round.mixed.clone());
+        }
+        let layer_count = self.round.mixed.first().map_or(0, ModelParams::num_layers);
+        let mut unclaimed: Vec<Vec<[u8; 32]>> = (0..layer_count)
+            .map(|l| self.dummy_digests.iter().map(|d| d[l]).collect())
+            .collect();
+        let mut columns: Vec<Vec<LayerParams>> = (0..layer_count)
+            .map(|_| Vec::with_capacity(self.real))
+            .collect();
+        for params in &self.round.mixed {
+            for (l, layer) in params.iter().enumerate() {
+                let digest = mixnn_core::codec::layer_digest(layer);
+                if let Some(pos) = unclaimed[l].iter().position(|d| *d == digest) {
+                    unclaimed[l].swap_remove(pos);
+                } else {
+                    columns[l].push(layer.clone());
+                }
+            }
+        }
+        if columns.iter().any(|c| c.len() != self.real) || unclaimed.iter().any(|u| !u.is_empty()) {
+            return Err(CascadeError::Pool {
+                reason: format!(
+                    "cover stripping kept {:?} layer blobs for {} expected real updates",
+                    columns.iter().map(Vec::len).collect::<Vec<_>>(),
+                    self.real,
+                ),
+            });
+        }
+        Ok((0..self.real)
+            .map(|i| ModelParams::from_layers(columns.iter().map(|c| c[i].clone()).collect()))
+            .collect())
+    }
+}
+
 /// The audit record of one route group: which clients took the route,
 /// which hops they traversed, and the plan each hop drew for the group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,6 +255,14 @@ impl RouteGroupAudit {
 /// adversary must cover a client's **entire route** to invert its mix. See
 /// `mixnn_attacks::collusion` for the adversary's view; this type is the
 /// honest auditor's.
+///
+/// An audit covers the **slots the round actually drove**, not a fixed
+/// client population: since pooled mixing, rounds are routinely *partial*
+/// (only the updates a [`crate::MixPool`] fired) and may carry trailing
+/// cover slots a hop padded in ([`CascadeCoordinator::run_padded_round_over`]).
+/// [`CascadeAudit::clients`] counts those driven slots — real and dummy
+/// alike, because on the wire and through every plan a cover slot is
+/// indistinguishable from a real one until the server strips it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CascadeAudit {
     clients: usize,
@@ -261,14 +351,16 @@ impl CascadeAudit {
         self.clients
     }
 
-    /// The per-hop plans of a **uniform** round (a single route group, as
-    /// every [`LinearChain`] round produces), in chain order.
+    /// The per-hop plans of a **single-group** round (as every
+    /// [`LinearChain`] round produces — full, partial, or dummy-padded:
+    /// what matters is that every driven slot shared one route), in chain
+    /// order.
     ///
     /// # Errors
     ///
-    /// Returns [`CascadeError::MultiGroupAudit`] when the round split into
-    /// more than one route group — a flat plan list cannot describe
-    /// those; use [`CascadeAudit::groups`].
+    /// Returns [`CascadeError::MultiGroupAudit`] when the round's driven
+    /// slots split into more than one route group — a flat plan list
+    /// cannot describe those; use [`CascadeAudit::groups`].
     pub fn plans(&self) -> Result<&[MixPlan], CascadeError> {
         match self.groups.as_slice() {
             [] => Ok(&[]),
@@ -419,7 +511,13 @@ pub struct CascadeCoordinator {
     parallelism: Parallelism,
     telemetry: Telemetry,
     rounds_driven: u64,
+    dummy_nonce: u64,
 }
+
+/// A committed round paired with the per-layer content digests of every
+/// cover update injected while driving it (one digest vector per dummy),
+/// in the order the dummies were appended.
+type DrivenRound = (CascadeRound, Vec<Vec<[u8; 32]>>);
 
 impl CascadeCoordinator {
     /// Launches every hop of `config` and binds them to `topology`.
@@ -471,6 +569,7 @@ impl CascadeCoordinator {
             parallelism: config.parallelism,
             telemetry: mixnn_telemetry::noop(),
             rounds_driven: 0,
+            dummy_nonce: 0,
         })
     }
 
@@ -932,6 +1031,60 @@ impl CascadeCoordinator {
         rng: &mut R,
         link: &mut dyn RoundLink,
     ) -> Result<CascadeRound, CascadeError> {
+        self.accounted_drive(updates, None, rng, link)
+            .map(|(round, _)| round)
+    }
+
+    /// [`CascadeCoordinator::run_round_over`] with a **k-floor**: every
+    /// route group whose driven slots fall short of `floor` is padded with
+    /// hop-generated cover updates before sealing, so no group — and hence
+    /// no fired pool — mixes fewer than `floor` slots. Cover slots occupy
+    /// trailing indices (`updates.len()..`), travel the group's full route
+    /// sealed exactly like a client's onion, and are recognised at the
+    /// server boundary only by the content digests this call returns
+    /// ([`PaddedRound::server_outputs`] strips them). Under
+    /// [`FailurePolicy::Skip`] a reroute re-partitions the surviving
+    /// routes and **re-pads** the merged groups with fresh cover, so the
+    /// floor holds on the round that actually commits.
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::Pool`] for a zero floor, plus every
+    /// [`CascadeCoordinator::run_round_over`] condition.
+    pub fn run_padded_round_over<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[ModelParams],
+        floor: usize,
+        rng: &mut R,
+        link: &mut dyn RoundLink,
+    ) -> Result<PaddedRound, CascadeError> {
+        if floor == 0 {
+            return Err(CascadeError::Pool {
+                reason: "k-floor must be at least 1".to_string(),
+            });
+        }
+        let real = updates.len();
+        let (round, dummy_digests) = self.accounted_drive(updates, Some(floor), rng, link)?;
+        self.telemetry
+            .incr(Counter::CascadeDummiesInjected, dummy_digests.len() as u64);
+        Ok(PaddedRound {
+            round,
+            real,
+            dummy_digests,
+        })
+    }
+
+    /// The accounting wrapper shared by the plain and padded round drives:
+    /// input validation, the round ordinal, trace events, the round span,
+    /// and success/abort counters — exactly once per round, no matter how
+    /// many skip-and-reroute attempts the drive takes.
+    fn accounted_drive<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[ModelParams],
+        floor: Option<usize>,
+        rng: &mut R,
+        link: &mut dyn RoundLink,
+    ) -> Result<DrivenRound, CascadeError> {
         if updates.is_empty() {
             return Err(CascadeError::EmptyRound);
         }
@@ -952,10 +1105,10 @@ impl CascadeCoordinator {
             TraceKind::RoundStarted { round: ordinal },
         );
         let t0 = self.telemetry.now_ns();
-        let result = self.drive_round(updates, rng, link);
+        let result = self.drive_round(updates, floor, rng, link);
         let elapsed_ns = self.telemetry.now_ns().saturating_sub(t0);
         match &result {
-            Ok(round) => self.record_round_success(round, ordinal, elapsed_ns),
+            Ok((round, _)) => self.record_round_success(round, ordinal, elapsed_ns),
             Err(_) => {
                 self.telemetry
                     .record_span_ns(Span::CascadeRound, elapsed_ns);
@@ -970,29 +1123,68 @@ impl CascadeCoordinator {
         result
     }
 
-    /// The retry-looped body behind [`CascadeCoordinator::run_round_over`],
-    /// split out so the wrapper can account the round exactly once no
-    /// matter how many skip-and-reroute attempts the drive takes.
+    /// The retry-looped body behind
+    /// [`CascadeCoordinator::accounted_drive`], split out so the wrapper
+    /// can account the round exactly once no matter how many
+    /// skip-and-reroute attempts the drive takes.
+    ///
+    /// With `floor: Some(k)`, each attempt pads every under-`k` route
+    /// group with hop-generated cover **before** sealing — in the same
+    /// sequential pre-phase both the optimistic concurrent drive and the
+    /// canonical sequential drive share, so padded rounds keep the
+    /// bit-identical-across-knobs invariant. Returns the cover content
+    /// digests of the attempt that committed.
     fn drive_round<R: Rng + ?Sized>(
         &mut self,
         updates: &[ModelParams],
+        floor: Option<usize>,
         rng: &mut R,
         link: &mut dyn RoundLink,
-    ) -> Result<CascadeRound, CascadeError> {
+    ) -> Result<DrivenRound, CascadeError> {
         let mut skipped_this_round = Vec::new();
         'retry: loop {
-            let groups = self.active_groups(updates.len())?;
+            let mut groups = self.active_groups(updates.len())?;
+            // Pad under-full groups up to the k-floor with cover drawn
+            // from the first hop on each group's route. A skip-and-reroute
+            // attempt re-enters here and re-pads the re-partitioned groups
+            // with fresh nonces — stale cover for a dead route never
+            // carries over.
+            let mut dummy_digests: Vec<Vec<[u8; 32]>> = Vec::new();
+            let extended: Vec<ModelParams>;
+            let round_updates: &[ModelParams] = if let Some(k) = floor {
+                let mut padded = updates.to_vec();
+                for group in &mut groups {
+                    while group.slots.len() < k {
+                        let hop = group.route[0];
+                        let dummy =
+                            self.hops[hop].generate_dummy(&self.signature, self.dummy_nonce);
+                        self.dummy_nonce += 1;
+                        dummy_digests
+                            .push(dummy.iter().map(mixnn_core::codec::layer_digest).collect());
+                        group.slots.push(padded.len());
+                        padded.push(dummy);
+                    }
+                }
+                extended = padded;
+                &extended
+            } else {
+                updates
+            };
+            let clients = round_updates.len();
             // One sealing pass per attempt, canonical order, shared by both
             // drives below — identical `rng` consumption at every worker
             // count.
-            let batches = Self::seal_groups(&self.hops, &groups, updates, rng);
+            let batches = Self::seal_groups(&self.hops, &groups, round_updates, rng);
 
             if link.is_transparent() && self.parallelism.group_workers > 1 && groups.len() > 1 {
-                if let Some(round) = self.try_concurrent_round(&groups, &batches, updates.len()) {
-                    return Ok(CascadeRound {
-                        skipped_this_round,
-                        ..round
-                    });
+                if let Some(round) = self.try_concurrent_round(&groups, &batches, clients) {
+                    return Ok((
+                        CascadeRound {
+                            skipped_this_round,
+                            ..round
+                        },
+                        dummy_digests,
+                    ));
                 }
                 // Something failed mid-flight; nothing was committed. Fall
                 // through to the canonical sequential drive on the same
@@ -1000,7 +1192,7 @@ impl CascadeCoordinator {
                 // the sequential ones.
             }
 
-            let mut mixed: Vec<Option<ModelParams>> = vec![None; updates.len()];
+            let mut mixed: Vec<Option<ModelParams>> = vec![None; clients];
             let mut group_audits = Vec::with_capacity(groups.len());
             let mut chain: Vec<usize> = Vec::new();
             for (group, mut batch) in groups.iter().zip(batches) {
@@ -1086,15 +1278,18 @@ impl CascadeCoordinator {
             }
             chain.sort_unstable();
             chain.dedup();
-            return Ok(CascadeRound {
-                mixed: mixed
-                    .into_iter()
-                    .map(|m| m.expect("groups partition the round"))
-                    .collect(),
-                audit: CascadeAudit::from_groups(updates.len(), group_audits),
-                chain,
-                skipped_this_round,
-            });
+            return Ok((
+                CascadeRound {
+                    mixed: mixed
+                        .into_iter()
+                        .map(|m| m.expect("groups partition the round"))
+                        .collect(),
+                    audit: CascadeAudit::from_groups(clients, group_audits),
+                    chain,
+                    skipped_this_round,
+                },
+                dummy_digests,
+            ));
         }
     }
 
@@ -1985,6 +2180,54 @@ mod tests {
         assert_eq!(cascade.parallelism().pipeline_depth, 4);
         for hop in cascade.hops() {
             assert_eq!(hop.parallelism().ingest_workers, 4);
+        }
+    }
+
+    #[test]
+    fn route_group_audit_covers_dummy_padded_trailing_slots() {
+        // A 3-client partial round padded to a k-floor of 5: the audit
+        // must describe the slots the round actually drove — the real
+        // members in the leading slots plus the trailing cover — exactly
+        // as it describes an all-real round.
+        let (mut cascade, _, mut rng) = launch_with(
+            Box::new(FreeRoute::new(3, 1, 3, 55)),
+            FailurePolicy::Abort,
+            55,
+        );
+        let ins = updates(3);
+        let padded = cascade
+            .run_padded_round_over(&ins, 5, &mut rng, &mut InProcessLink)
+            .unwrap();
+        assert_eq!(padded.real, 3);
+        assert!(padded.dummies() > 0, "a 3-member round needs cover at k=5");
+        let audit = &padded.round.audit;
+        let driven = padded.real + padded.dummies();
+
+        // The groups partition every driven slot (real and cover alike)
+        // and each group meets the k-floor with plans sized to its padded
+        // membership.
+        let mut seen = vec![false; driven];
+        for group in audit.groups() {
+            assert!(group.members() >= 5, "group of {}", group.members());
+            assert_eq!(group.plans().len(), group.route().len());
+            for &slot in group.slots() {
+                assert!(!seen[slot], "slot {slot} audited twice");
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every driven slot is audited");
+
+        // The audit stays honest through the padding: unmixing restores
+        // the real originals in the leading slots.
+        let restored = audit.unmix(&padded.round.mixed).unwrap();
+        assert_eq!(&restored[..3], &ins[..]);
+
+        // And when the padded round splits into several groups, the flat
+        // plans() accessor refuses with the pooled-round wording.
+        if audit.groups().len() > 1 {
+            let err = audit.plans().unwrap_err();
+            assert!(matches!(err, CascadeError::MultiGroupAudit { .. }));
+            assert!(err.to_string().contains("pooled round"), "{err}");
         }
     }
 }

@@ -67,6 +67,14 @@ pub enum CascadeError {
         /// Number of route groups the round split into.
         groups: usize,
     },
+    /// A mix pool was misconfigured or driven inconsistently (zero
+    /// threshold, a pooled transport without a virtual clock to measure
+    /// deadlines on, a stripped round whose cover count disagrees with
+    /// what was injected).
+    Pool {
+        /// Human-readable constraint violation.
+        reason: String,
+    },
     /// The wire failed to deliver a round segment between two stages of
     /// the update path (timeout on lost packets, stalled or refused
     /// connection). Under `FailurePolicy::Skip` the receiving hop is
@@ -100,9 +108,11 @@ impl fmt::Display for CascadeError {
             CascadeError::Audit { reason } => write!(f, "audit failure: {reason}"),
             CascadeError::MultiGroupAudit { groups } => write!(
                 f,
-                "round split into {groups} route groups; a flat plan list cannot describe it \
-                 (use CascadeAudit::groups)"
+                "the round's driven slots (a pooled round drives only the updates that \
+                 arrived, plus cover) split into {groups} route groups; a flat plan list \
+                 cannot describe it (use CascadeAudit::groups)"
             ),
+            CascadeError::Pool { reason } => write!(f, "mix pool misuse: {reason}"),
             CascadeError::Link { source } => write!(f, "wire delivery failed: {source}"),
         }
     }

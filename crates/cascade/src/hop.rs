@@ -33,9 +33,10 @@
 //! count**.
 
 use crate::{CascadeError, OnionUpdate};
-use mixnn_core::{map_chunked, MixPlan, Parallelism, ProxyError, ProxyStats};
+use mixnn_core::{map_chunked, shard_seed, MixPlan, Parallelism, ProxyError, ProxyStats};
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::{AttestationService, Enclave, EnclaveConfig, Measurement, Quote};
+use mixnn_nn::{LayerParams, ModelParams};
 use mixnn_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +95,7 @@ pub struct CascadeHop {
     enclave: Enclave,
     expected_measurement: Measurement,
     rng: StdRng,
+    dummy_seed: u64,
     layers: usize,
     stats: ProxyStats,
     parallelism: Parallelism,
@@ -155,6 +157,11 @@ impl CascadeHop {
             enclave,
             expected_measurement,
             rng: StdRng::seed_from_u64(config.seed),
+            // A stream disjoint from the mixing RNG: cover generation must
+            // never perturb plan draws, or padded rounds would stop being
+            // comparable with unpadded ones. The tag is an arbitrary
+            // constant far above any layer index shard_seed sees.
+            dummy_seed: shard_seed(config.seed, 0x00c0_ffee),
             layers,
             stats: ProxyStats::default(),
             parallelism: config.parallelism,
@@ -555,6 +562,29 @@ impl CascadeHop {
         rng: &mut StdRng,
     ) -> Result<MixPlan, CascadeError> {
         MixPlan::for_round(participants, self.layers, rng).map_err(|e| self.hop_err(e))
+    }
+
+    /// Generates one cover ("dummy") update for this hop.
+    ///
+    /// The parameters follow the same wire signature as real updates and
+    /// are sealed by the coordinator exactly like a client's, so on the
+    /// wire a dummy is byte-indistinguishable from real traffic (same
+    /// envelope count, same ciphertext length, fresh randomness). The
+    /// *values* are drawn from a per-hop stream keyed by `(dummy_seed,
+    /// nonce)` — independent of the mixing RNG, so injecting cover never
+    /// changes the plans a round would draw. Deterministic per nonce: the
+    /// coordinator re-derives the digest the server strips by, and
+    /// replaying a seed reproduces the exact cover bytes.
+    pub fn generate_dummy(&self, signature: &[usize], nonce: u64) -> ModelParams {
+        let mut rng = StdRng::seed_from_u64(shard_seed(self.dummy_seed, nonce as usize));
+        ModelParams::from_layers(
+            signature
+                .iter()
+                .map(|&len| {
+                    LayerParams::from_values((0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                })
+                .collect(),
+        )
     }
 
     /// The hop's mixing RNG stream (cloned by the coordinator's optimistic

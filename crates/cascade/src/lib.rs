@@ -76,7 +76,14 @@
 //!   drive at every setting (see `docs/ARCHITECTURE.md`, "Cascade
 //!   concurrency model");
 //! * [`CascadeTransport`] — plugs the cascade into `mixnn_fl` rounds as an
-//!   [`mixnn_fl::UpdateTransport`].
+//!   [`mixnn_fl::UpdateTransport`];
+//! * [`MixPool`] / [`PooledCoordinator`] / [`PooledCascadeTransport`] —
+//!   **continuous** mixing: arrivals pool until `k` are buffered or a
+//!   deadline (on the telemetry clock) elapses, and every fired partial
+//!   round is padded with hop-generated cover traffic up to the k-floor —
+//!   byte-indistinguishable on the wire, stripped only at the server
+//!   boundary by content digest ([`PaddedRound::server_outputs`]). See
+//!   `docs/ARCHITECTURE.md`, "Continuous mixing & cover traffic".
 
 #![deny(missing_docs)]
 
@@ -85,16 +92,22 @@ mod coordinator;
 mod error;
 mod hop;
 mod onion;
+mod pool;
 mod topology;
 mod transport;
 
 pub use client::CascadeClient;
 pub use coordinator::{
-    CascadeAudit, CascadeConfig, CascadeCoordinator, CascadeRound, FailurePolicy, RouteGroupAudit,
+    CascadeAudit, CascadeConfig, CascadeCoordinator, CascadeRound, FailurePolicy, PaddedRound,
+    RouteGroupAudit,
 };
 pub use error::CascadeError;
 pub use hop::{CascadeHop, CascadeHopConfig, HopDescriptor, HOP_CODE_IDENTITY};
 pub use onion::OnionUpdate;
+pub use pool::{
+    MixPool, PoolBatch, PoolConfig, PoolTrigger, PooledCascadeTransport, PooledCoordinator,
+    PooledRound,
+};
 pub use topology::{
     route_groups, uniform_route, validate_route, CascadeTopology, FreeRoute, LinearChain,
     RouteGroup, StratifiedLayout,

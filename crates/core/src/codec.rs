@@ -104,6 +104,28 @@ pub fn decode_params(mut bytes: &[u8]) -> Result<ModelParams, ProxyError> {
     Ok(ModelParams::from_layers(layers))
 }
 
+/// SHA-256 digest of a model's canonical wire encoding.
+///
+/// Two `ModelParams` share a digest exactly when [`encode_params`] produces
+/// the same bytes — i.e. when every scalar is bit-identical.
+pub fn params_digest(params: &ModelParams) -> [u8; 32] {
+    mixnn_crypto::sha256::digest(&encode_params(params))
+}
+
+/// SHA-256 digest of a **single layer's** canonical encoding
+/// ([`encode_layer`]).
+///
+/// This is the cascade's cover-stripping primitive: mixing permutes every
+/// layer *independently* across a group's slots, so a cover update's
+/// layers scatter over different output slots — a whole-model digest can
+/// never find them again. Per-layer digests can: hops announce the digest
+/// of each cover layer they generated, and the server drops matching layer
+/// blobs from the mixed outputs without ever learning which slot (or which
+/// co-arrived layers) the cover came from.
+pub fn layer_digest(layer: &LayerParams) -> [u8; 32] {
+    mixnn_crypto::sha256::digest(&encode_layer(layer))
+}
+
 /// Serialized size in bytes of one layer under [`encode_layer`].
 pub fn encoded_layer_len(layer_len: usize) -> usize {
     4 + 4 * layer_len
@@ -278,6 +300,34 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("trailing"));
+    }
+
+    #[test]
+    fn params_digest_is_stable_and_bit_sensitive() {
+        let p = sample();
+        assert_eq!(params_digest(&p), params_digest(&sample()));
+        let mut other = sample();
+        other.layer_mut(0).unwrap().values_mut()[0] += 1.0;
+        assert_ne!(params_digest(&p), params_digest(&other));
+        // -0.0 and +0.0 compare equal but encode differently — the digest
+        // follows the bytes, which is what content-stripping relies on.
+        let neg = ModelParams::from_layers(vec![LayerParams::from_values(vec![-0.0])]);
+        let pos = ModelParams::from_layers(vec![LayerParams::from_values(vec![0.0])]);
+        assert_ne!(params_digest(&neg), params_digest(&pos));
+    }
+
+    #[test]
+    fn layer_digest_is_stable_and_bit_sensitive() {
+        let a = LayerParams::from_values(vec![1.0, 2.5]);
+        assert_eq!(layer_digest(&a), layer_digest(&a.clone()));
+        let b = LayerParams::from_values(vec![1.0, 2.500001]);
+        assert_ne!(layer_digest(&a), layer_digest(&b));
+        // A layer's digest matches the digest of the same bytes wherever
+        // they travel — the property cover stripping relies on.
+        assert_eq!(
+            layer_digest(&a),
+            mixnn_crypto::sha256::digest(&encode_layer(&a))
+        );
     }
 
     #[test]

@@ -227,6 +227,24 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, LoadError> {
 ///
 /// # Errors
 ///
+/// The load generator's trickle schedule: client `client` of `clients`
+/// sends `(client × spread_ns) / clients` after the round opens — arrivals
+/// spread evenly across the window, in client order, with pure integer
+/// arithmetic (no per-client state, bit-reproducible anywhere).
+///
+/// Public so pooled-mixing experiments and tests can feed a
+/// `mixnn-cascade` `PooledCoordinator` the **exact** arrival offsets the
+/// simulated network generates.
+///
+/// # Panics
+///
+/// Panics when `clients` is zero (there is no schedule to place a client
+/// in).
+pub fn arrival_offset(client: usize, clients: usize, spread_ns: u64) -> u64 {
+    assert!(clients > 0, "an arrival schedule needs at least one client");
+    (client as u64 * spread_ns) / clients as u64
+}
+
 /// Same conditions as [`run_load`].
 pub fn run_load_with(cfg: &LoadConfig, telemetry: &Telemetry) -> Result<LoadOutcome, LoadError> {
     if cfg.clients == 0 || cfg.rounds == 0 || cfg.hops == 0 {
@@ -301,7 +319,7 @@ pub fn run_load_with(cfg: &LoadConfig, telemetry: &Telemetry) -> Result<LoadOutc
         let round = burst / per_round;
         let client = (burst % per_round) / bursts_per_client;
         round as u64 * cfg.round_interval_ns
-            + (client as u64 * cfg.arrival_spread_ns) / clients as u64
+            + arrival_offset(client, clients, cfg.arrival_spread_ns)
     };
 
     // Per-hop and server frame counters, per round.
@@ -454,7 +472,7 @@ pub fn run_load_with(cfg: &LoadConfig, telemetry: &Telemetry) -> Result<LoadOutc
         let done = completion.expect("loop exits only when all rounds completed");
         let start = round as u64 * cfg.round_interval_ns;
         for c in 0..clients {
-            let sent = start + (c as u64 * cfg.arrival_spread_ns) / clients as u64;
+            let sent = start + arrival_offset(c, clients, cfg.arrival_spread_ns);
             latency_samples_s.push((done - sent) as f64 / 1e9);
         }
     }

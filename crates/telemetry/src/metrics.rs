@@ -111,6 +111,8 @@ metric_ids! {
         CascadeRoundsAborted => (Cascade, "rounds_aborted", "Cascade rounds abandoned under the failure policy."),
         CascadeGroupsMixed => (Cascade, "groups_mixed", "Route groups carried through their full hop sequence."),
         CascadeHopsSkipped => (Cascade, "hops_skipped", "Hops dropped from the active chain by FailurePolicy::Skip."),
+        CascadePoolsFired => (Cascade, "pools_fired", "Mix pools fired into a cascade round (threshold or deadline)."),
+        CascadeDummiesInjected => (Cascade, "dummies_injected", "Hop-generated cover updates injected to pad pools and route groups."),
         NetPacketsSent => (Net, "packets_sent", "Packets handed to the simulated wire."),
         NetPacketsDelivered => (Net, "packets_delivered", "Packets that reached their destination queue."),
         NetPacketsLost => (Net, "packets_lost", "Packets dropped by configured link loss."),
@@ -137,6 +139,7 @@ metric_ids! {
     pub enum Distribution {
         CoreMixBatchUpdates => (Core, "mix_batch_updates", "Updates per mixed batch."),
         CascadeGroupMembers => (Cascade, "group_members", "Clients per route group at round commit."),
+        CascadePoolDepth => (Cascade, "pool_depth", "Real updates in a pool at the moment it fires."),
         FlRoundParticipants => (Fl, "round_participants", "Clients sampled into a federated round."),
     }
 }
@@ -149,6 +152,7 @@ metric_ids! {
     pub enum Span {
         CoreMixBatch => (Core, "mix_batch_ns", "Wall time of MixnnProxy::mix_batch."),
         CascadeRound => (Cascade, "round_ns", "Wall time of one coordinator round (ingest through commit)."),
+        CascadePoolWait => (Cascade, "pool_wait_ns", "Added latency per pooled update: arrival to pool firing."),
         FlRound => (Fl, "round_ns", "Wall time of one federated round (training through aggregation)."),
     }
 }

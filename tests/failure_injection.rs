@@ -233,6 +233,201 @@ fn wire_timeout_under_abort_is_a_typed_timeout() {
 }
 
 #[test]
+fn mid_pool_wire_loss_under_skip_reroutes_and_repads_the_fired_round() {
+    use mixnn::cascade::{
+        CascadeCoordinator, FailurePolicy, FreeRoute, PoolConfig, PooledCoordinator,
+    };
+    use mixnn::net::{FlushPolicy, LinkConfig, SimLink};
+    use mixnn::proxy::Endpoint;
+
+    // A pool is half full when hop 1 falls off the network. The firing
+    // arrival must still commit a round: under the skip policy the dead
+    // hop is marked down, the groups re-partition onto surviving routes,
+    // and the re-partitioned groups are re-padded to the k-floor with
+    // fresh cover.
+    let mut rng = StdRng::seed_from_u64(21);
+    let service = AttestationService::new(&mut rng);
+    let cascade = CascadeCoordinator::with_topology(
+        vec![8, 4],
+        Box::new(FreeRoute::new(3, 2, 3, 9)),
+        9,
+        FailurePolicy::Skip,
+        &service,
+        &mut rng,
+    )
+    .unwrap();
+    let mut pooled = PooledCoordinator::new(
+        cascade,
+        PoolConfig {
+            k: 6,
+            deadline_ns: u64::MAX,
+        },
+        31,
+    )
+    .unwrap();
+    let mut link = SimLink::new(
+        3,
+        13,
+        LinkConfig::default(),
+        FlushPolicy::Batched,
+        200_000_000,
+    );
+
+    // Five arrivals pool quietly over the healthy wire...
+    for i in 0..5 {
+        assert!(pooled.submit(i, params(i), &mut link).unwrap().is_empty());
+    }
+    // ...then hop 1 dies: every ingress segment into it drops all packets.
+    for from in [Endpoint::Clients, Endpoint::Hop(0), Endpoint::Hop(2)] {
+        link.set_segment_config(
+            from,
+            Endpoint::Hop(1),
+            LinkConfig {
+                loss: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+    }
+    let fired = pooled.submit(5, params(5), &mut link).unwrap();
+    assert_eq!(fired.len(), 1, "the k-th arrival fires the pool");
+    let round = &fired[0];
+
+    // Exactly the unreachable hop was skipped, and no surviving route
+    // traverses it.
+    assert_eq!(pooled.cascade().skipped_hops(), vec![1]);
+    for group in round.audit().groups() {
+        assert!(!group.route().contains(&1));
+        assert!(!group.route().is_empty(), "rerouting must keep mixing");
+        assert!(group.members() >= 6, "rerouted groups are re-padded to k");
+    }
+    // The audit covers real and cover slots alike, and stripping still
+    // recovers exactly the six real members' aggregate.
+    let covered: usize = round.audit().groups().iter().map(|g| g.members()).sum();
+    assert_eq!(covered, round.real() + round.dummies());
+    assert_eq!(round.real(), 6);
+    let stripped = round.server_outputs().unwrap();
+    let reals: Vec<ModelParams> = (0..6).map(params).collect();
+    assert_eq!(ModelParams::mean(&stripped), ModelParams::mean(&reals));
+}
+
+#[test]
+fn mid_pool_wire_loss_under_abort_surfaces_a_typed_timeout_and_restores_the_pool() {
+    use mixnn::cascade::{CascadeCoordinator, FailurePolicy, PoolConfig, PooledCoordinator};
+    use mixnn::fl::FlError;
+    use mixnn::net::{FlushPolicy, LinkConfig, SimLink};
+    use mixnn::proxy::Endpoint;
+
+    // The same mid-pool outage under the abort policy: the firing fails
+    // with the typed timeout the FL loop can act on, the members go back
+    // into the pool, and a retry over a healed wire commits them.
+    let mut rng = StdRng::seed_from_u64(22);
+    let service = AttestationService::new(&mut rng);
+    let cascade =
+        CascadeCoordinator::linear(vec![8, 4], 2, 9, FailurePolicy::Abort, &service, &mut rng)
+            .unwrap();
+    let mut pooled = PooledCoordinator::new(
+        cascade,
+        PoolConfig {
+            k: 4,
+            deadline_ns: u64::MAX,
+        },
+        31,
+    )
+    .unwrap();
+    let mut link = SimLink::new(
+        2,
+        13,
+        LinkConfig::default(),
+        FlushPolicy::Batched,
+        100_000_000,
+    );
+    for i in 0..3 {
+        assert!(pooled.submit(i, params(i), &mut link).unwrap().is_empty());
+    }
+    link.set_segment_config(
+        Endpoint::Clients,
+        Endpoint::Hop(0),
+        LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::default()
+        },
+    );
+    let err = pooled.submit(3, params(3), &mut link).unwrap_err();
+    assert!(
+        matches!(FlError::from(err), FlError::Timeout { .. }),
+        "the wire outage must surface as the typed timeout"
+    );
+    // Abort never marks hops down, and nothing was committed: all four
+    // members are back in the pool, ready for a retry.
+    assert!(pooled.cascade().skipped_hops().is_empty());
+    assert_eq!(pooled.pool().len(), 4);
+
+    // Heal the wire and force the retry: the same members commit.
+    let mut healed = SimLink::new(
+        2,
+        14,
+        LinkConfig::default(),
+        FlushPolicy::Batched,
+        100_000_000,
+    );
+    let round = pooled.flush(&mut healed).unwrap().expect("retry commits");
+    assert_eq!(round.slots, vec![0, 1, 2, 3]);
+    let stripped = round.server_outputs().unwrap();
+    let reals: Vec<ModelParams> = (0..4).map(params).collect();
+    assert_eq!(ModelParams::mean(&stripped), ModelParams::mean(&reals));
+}
+
+#[test]
+fn deadline_firing_under_a_stalled_link_times_out_instead_of_deadlocking() {
+    use mixnn::cascade::{CascadeCoordinator, FailurePolicy, PoolConfig, PooledCoordinator};
+    use mixnn::fl::FlError;
+    use mixnn::net::{FlushPolicy, LinkConfig, SimLink};
+    use mixnn::telemetry::{Registry, VirtualClock};
+
+    // A stalled wire (every packet delayed far beyond the delivery
+    // timeout) must not hang a deadline firing: SimLink's timeouts are
+    // virtual-time bounded, so the tick returns a typed timeout and the
+    // under-full pool survives for a later retry.
+    let clock = VirtualClock::new();
+    let telemetry = Registry::with_virtual_clock(clock.clone()).shared();
+    let mut rng = StdRng::seed_from_u64(23);
+    let service = AttestationService::new(&mut rng);
+    let cascade =
+        CascadeCoordinator::linear(vec![8, 4], 2, 9, FailurePolicy::Abort, &service, &mut rng)
+            .unwrap();
+    let mut pooled = PooledCoordinator::new(
+        cascade,
+        PoolConfig {
+            k: 5,
+            deadline_ns: 1_000,
+        },
+        31,
+    )
+    .unwrap();
+    pooled.attach_telemetry(telemetry);
+    let stalled = LinkConfig {
+        latency_ns: 1_000_000_000_000, // 1000 s per packet
+        ..LinkConfig::default()
+    };
+    let mut link = SimLink::new(2, 13, stalled, FlushPolicy::Batched, 100_000_000);
+
+    pooled.submit(0, params(0), &mut link).unwrap();
+    pooled.submit(1, params(1), &mut link).unwrap();
+    clock.advance_ns(5_000); // sail past the pool deadline
+    let err = pooled.tick(&mut link).unwrap_err();
+    assert!(
+        matches!(FlError::from(err), FlError::Timeout { .. }),
+        "a stalled wire is a bounded timeout, not a deadlock"
+    );
+    // The members are restored; the deadline is still considered elapsed,
+    // so the next tick retries immediately (and fails the same bounded
+    // way while the wire stays stalled).
+    assert_eq!(pooled.pool().len(), 2);
+    assert!(pooled.tick(&mut link).is_err());
+    assert_eq!(pooled.pool().len(), 2);
+}
+
+#[test]
 fn partial_participation_rounds_still_aggregate() {
     use mixnn::data::motionsense_like;
     use mixnn::fl::{Dissemination, FlConfig, FlSimulation};
