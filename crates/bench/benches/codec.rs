@@ -1,0 +1,95 @@
+//! Wire-codec bench: bulk little-endian conversion and the v2 modes.
+//!
+//! The v1 encoder used to walk values one `put_f32_le`/`get_f32_le` at a
+//! time; it now converts whole slices through `chunks_exact(4)` with an
+//! exact-capacity pre-reserve. `encode/f32` and `decode/f32` measure
+//! that bulk path directly (the per-value loop it replaced is the
+//! baseline recorded in the PR). The `int8` and `int8+topk` rows show
+//! what the v2 quantized frames cost to produce and parse at the
+//! reference layer sizes, and `validate` prices the structural v2 check
+//! hops run per envelope without decompressing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixnn_core::codec::{
+    self, encode_layer_with, encode_params_with, validate_layer_frame, CompressionConfig,
+};
+use mixnn_nn::{LayerParams, ModelParams};
+use std::time::Duration;
+
+/// The paper's reference model signature.
+const SIGNATURE: [usize; 5] = [2048, 2048, 1024, 512, 130];
+
+fn reference_params() -> ModelParams {
+    ModelParams::from_layers(
+        SIGNATURE
+            .iter()
+            .map(|&len| {
+                LayerParams::from_values((0..len).map(|i| (i as f32).sin() * 0.7).collect())
+            })
+            .collect(),
+    )
+}
+
+fn modes() -> [CompressionConfig; 3] {
+    [
+        CompressionConfig::F32,
+        CompressionConfig::Int8,
+        CompressionConfig::int8_top_k(),
+    ]
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode");
+    configure(&mut group);
+    let params = reference_params();
+    for mode in modes() {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &m| {
+            b.iter(|| encode_params_with(&params, m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/decode");
+    configure(&mut group);
+    let params = reference_params();
+    for mode in modes() {
+        let bytes = encode_params_with(&params, mode);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| codec::decode_params(bytes).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/validate");
+    configure(&mut group);
+    let layer = LayerParams::from_values((0..2048).map(|i| (i as f32).cos()).collect());
+    for mode in modes() {
+        let frame = encode_layer_with(&layer, mode);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &frame,
+            |b, frame| {
+                b.iter(|| validate_layer_frame(frame).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_validate);
+criterion_main!(benches);

@@ -23,7 +23,8 @@
 //!                                                   cascade: BENCH_cascade.json,
 //!                                                   topology: BENCH_topology.json,
 //!                                                   load: BENCH_load.json,
-//!                                                   pooled: BENCH_pooled.json)
+//!                                                   pooled: BENCH_pooled.json,
+//!                                                   compress: BENCH_compress.json)
 //!   --metrics-out <path>                           write the run's Prometheus metrics
 //!                                                  snapshot (throughput/cascade/load)
 //! ```
@@ -50,12 +51,16 @@
 //! fired pool and route group padded to ≥ k with hop-generated cover)
 //! and bit-identical dummy-stripped aggregates, and recording pools by
 //! trigger, cover overhead, p50/p99 added latency and residual
-//! anonymity-set sizes.
+//! anonymity-set sizes. `compress` sweeps the MIXN v2 wire codec (f32 /
+//! int8 / int8+topk) over wire bytes per client, sustained updates/s and
+//! stripped-aggregate error against the lossless baseline across all
+//! three layouts, asserting route-group size uniformity (cover updates
+//! included) and the ≥4x compressed-byte budget.
 
 use mixnn_attacks::AttackMode;
 use mixnn_bench::experiments::{
-    background, cascade, inference, load, pooled, robustness, sysperf, throughput, topology,
-    utility, utility_cdf,
+    background, cascade, compress, inference, load, pooled, robustness, sysperf, throughput,
+    topology, utility, utility_cdf,
 };
 use mixnn_bench::{report, DatasetKind, Defense, ExperimentScale, ExperimentSetup};
 use mixnn_telemetry::{
@@ -125,6 +130,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "pooled",
         "Continuous pooled mixing: k x deadline sweep with cover traffic -> BENCH_pooled.json",
         run_pooled,
+    ),
+    (
+        "compress",
+        "MIXN v2 codec: f32 vs int8 vs int8+topk wire cost and accuracy -> BENCH_compress.json",
+        run_compress,
     ),
 ];
 
@@ -622,6 +632,7 @@ fn run_load(opts: &Options) -> Result<(), String> {
         ),
         &[
             "flush",
+            "codec",
             "clients",
             "rounds",
             "updates/s",
@@ -695,6 +706,43 @@ fn run_pooled(opts: &Options) -> Result<(), String> {
          Results written to {out}."
     );
     export_metrics(&telemetry, &mid_prom, opts.metrics_out.as_deref())
+}
+
+fn run_compress(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_compress.json");
+    let rows = compress::run(opts.scale, opts.seed)?;
+    report::print_table(
+        &format!(
+            "MIXN v2 codec: wire cost and aggregate accuracy ({} simulated clients)",
+            rows[0].clients
+        ),
+        &[
+            "mode",
+            "B/client",
+            "reduction",
+            "updates/s",
+            "rmse",
+            "max |err|",
+            "tolerance",
+            "onion B",
+        ],
+        &compress::rows(&rows),
+    );
+    std::fs::write(out, compress::to_json(&rows)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "\nAsserted per mode and layout (linear, stratified, free-route): every sealed\n\
+         onion of a route — real clients and hop-generated cover alike — encodes to\n\
+         one length, so compression adds no linkability side channel; the stripped\n\
+         aggregate stays within the stated RMSE tolerance of the lossless baseline;\n\
+         and int8+topk cuts wire bytes ≥{:.0}x to ≤{:.0} B/client/round ({:.2}x, {:.0} B\n\
+         measured). All figures are deterministic per seed and scale.\n\
+         Results written to {out}.",
+        compress::MIN_REDUCTION,
+        compress::MAX_COMPRESSED_BYTES,
+        rows[2].reduction_vs_f32,
+        rows[2].bytes_on_wire_per_client,
+    );
+    Ok(())
 }
 
 fn print_experiment_list() {

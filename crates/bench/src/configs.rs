@@ -103,6 +103,7 @@ impl ExperimentSetup {
                     optimizer: OptimizerKind::Adam,
                     seed,
                     parallelism: Parallelism::available(),
+                    compression: mixnn_core::codec::CompressionConfig::F32,
                 },
                 4,
                 32,
@@ -118,6 +119,7 @@ impl ExperimentSetup {
                     optimizer: OptimizerKind::Adam,
                     seed,
                     parallelism: Parallelism::available(),
+                    compression: mixnn_core::codec::CompressionConfig::F32,
                 },
                 4,
                 32,
@@ -133,6 +135,7 @@ impl ExperimentSetup {
                     optimizer: OptimizerKind::Adam,
                     seed,
                     parallelism: Parallelism::available(),
+                    compression: mixnn_core::codec::CompressionConfig::F32,
                 },
                 4,
                 32,
@@ -148,6 +151,7 @@ impl ExperimentSetup {
                     optimizer: OptimizerKind::Adam,
                     seed,
                     parallelism: Parallelism::available(),
+                    compression: mixnn_core::codec::CompressionConfig::F32,
                 },
                 4,
                 32,

@@ -1,11 +1,12 @@
 //! `eval load` — load generation over the simulated network.
 //!
 //! Drives 10^5 (paper scale) size-only simulated clients through a 3-hop
-//! cascade wire twice — once with **batched** MIXB flushing (a round's
-//! envelopes for one peer coalesced into a single burst) and once with
-//! the **per-envelope-flush baseline** — and reports, per policy:
-//! sustained updates per virtual second, p50/p99/p99.9 round latency,
-//! peak send/receive queue depths, and wire bytes per client per round.
+//! cascade wire three times — with **batched** MIXB flushing (a round's
+//! envelopes for one peer coalesced into a single burst), with the
+//! **per-envelope-flush baseline**, and batched again under the **MIXN
+//! v2 `int8+topk` codec** — and reports, per row: sustained updates per
+//! virtual second, p50/p99/p99.9 round latency, peak send/receive queue
+//! depths, and wire bytes per client per round.
 //!
 //! The run fails rather than reporting nonsense: a small *fidelity
 //! cross-check* first drives a real (crypto-carrying) cascade round over
@@ -21,6 +22,7 @@
 use crate::report::Percentiles;
 use crate::ExperimentScale;
 use mixnn_cascade::{CascadeCoordinator, CascadeTransport, FailurePolicy};
+use mixnn_core::codec;
 use mixnn_enclave::AttestationService;
 use mixnn_fl::{ModelUpdate, UpdateTransport};
 use mixnn_net::{run_load_with, FlushPolicy, LinkConfig, LoadConfig, NetCascadeTransport};
@@ -42,6 +44,8 @@ pub const MAX_FRAMING_OVERHEAD: f64 = 0.05;
 pub struct LoadRow {
     /// Flush policy (`batched` / `per_envelope`).
     pub flush: &'static str,
+    /// Wire codec mode (`f32` / `int8+topk`).
+    pub codec: &'static str,
     /// Clients per round.
     pub clients: usize,
     /// Rounds driven.
@@ -126,8 +130,8 @@ fn fidelity_check(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the load experiment at `scale`, returning one row per flush
-/// policy (batched first).
+/// Runs the load experiment at `scale`, returning the two f32 flush
+/// rows (batched first) followed by the compressed batched row.
 ///
 /// # Errors
 ///
@@ -158,8 +162,18 @@ pub fn run_with(
 ) -> Result<Vec<LoadRow>, String> {
     fidelity_check(seed)?;
 
-    let mut rows = Vec::with_capacity(2);
-    for flush in [FlushPolicy::Batched, FlushPolicy::PerEnvelope] {
+    // Two f32 rows pin the framing comparison; the third row reruns the
+    // deployment configuration (batched) under the MIXN v2 compressed
+    // codec. Only wire cost changes: lossy rounds keep the aggregate
+    // within the tolerances `eval compress` gates (int8+topk RMSE ≤ 0.2
+    // vs the lossless baseline at the reference model).
+    let sweep = [
+        (FlushPolicy::Batched, codec::CompressionConfig::F32),
+        (FlushPolicy::PerEnvelope, codec::CompressionConfig::F32),
+        (FlushPolicy::Batched, codec::CompressionConfig::int8_top_k()),
+    ];
+    let mut rows = Vec::with_capacity(sweep.len());
+    for (flush, compression) in sweep {
         let mut cfg = match scale {
             ExperimentScale::Paper => LoadConfig::paper(clients.unwrap_or(100_000), flush),
             ExperimentScale::Quick => {
@@ -171,9 +185,11 @@ pub fn run_with(
             }
         };
         cfg.seed = seed;
+        cfg.compression = compression;
         let out = run_load_with(&cfg, telemetry).map_err(|e| e.to_string())?;
         let row = LoadRow {
             flush: flush.name(),
+            codec: compression.name(),
             clients: out.clients,
             rounds: out.rounds,
             sim_seconds: out.sim_seconds,
@@ -217,6 +233,7 @@ pub fn rows(results: &[LoadRow]) -> Vec<Vec<String>> {
         .map(|r| {
             vec![
                 r.flush.to_string(),
+                r.codec.to_string(),
                 r.clients.to_string(),
                 r.rounds.to_string(),
                 format!("{:.1}", r.sustained_updates_per_sec),
@@ -243,7 +260,7 @@ pub fn to_json(results: &[LoadRow]) -> String {
     ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"flush\": \"{}\", \"clients\": {}, \"rounds\": {}, \
+            "    {{\"flush\": \"{}\", \"codec\": \"{}\", \"clients\": {}, \"rounds\": {}, \
              \"sim_seconds\": {:.6}, \"sustained_updates_per_sec\": {:.2}, \
              \"latency_p50_s\": {:.6}, \"latency_p99_s\": {:.6}, \"latency_p999_s\": {:.6}, \
              \"peak_send_queue\": {}, \"peak_recv_queue\": {}, \
@@ -252,6 +269,7 @@ pub fn to_json(results: &[LoadRow]) -> String {
              \"packets_lost\": {}, \"packets_reordered\": {}, \
              \"wire_bytes_total\": {}, \"events_processed\": {}}}{}\n",
             r.flush,
+            r.codec,
             r.clients,
             r.rounds,
             r.sim_seconds,
@@ -281,12 +299,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_run_produces_both_rows_and_passes_gates() {
+    fn quick_run_produces_every_row_and_passes_gates() {
         let rows = run(ExperimentScale::Quick, Some(500), 42).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].flush, "batched");
-        assert_eq!(rows[1].flush, "per_envelope");
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].flush, rows[0].codec), ("batched", "f32"));
+        assert_eq!((rows[1].flush, rows[1].codec), ("per_envelope", "f32"));
+        assert_eq!((rows[2].flush, rows[2].codec), ("batched", "int8+topk"));
         assert!(rows[0].sim_seconds < rows[1].sim_seconds);
+        // The compressed row keeps the f32 baseline rows intact and cuts
+        // the per-client wire bytes at least 4x.
+        assert!(
+            rows[2].bytes_on_wire_per_client * 4.0 <= rows[0].bytes_on_wire_per_client,
+            "topk {} B vs f32 {} B",
+            rows[2].bytes_on_wire_per_client,
+            rows[0].bytes_on_wire_per_client
+        );
         assert!(rows[0].framing_overhead < MAX_FRAMING_OVERHEAD);
         assert!(rows[0].latency.p50 <= rows[0].latency.p99);
         assert!(rows[0].latency.p99 <= rows[0].latency.p999);
@@ -337,5 +364,7 @@ mod tests {
         }
         assert!(json.contains("\"batched\""));
         assert!(json.contains("\"per_envelope\""));
+        assert!(json.contains("\"f32\""));
+        assert!(json.contains("\"int8+topk\""));
     }
 }

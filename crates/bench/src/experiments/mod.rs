@@ -2,6 +2,7 @@
 
 pub mod background;
 pub mod cascade;
+pub mod compress;
 pub mod inference;
 pub mod load;
 pub mod pooled;

@@ -1,6 +1,7 @@
 //! The participant's side of the cascade.
 
 use crate::{CascadeError, HopDescriptor, OnionUpdate};
+use mixnn_core::codec::CompressionConfig;
 use mixnn_crypto::PublicKey;
 use mixnn_enclave::AttestationService;
 use mixnn_nn::ModelParams;
@@ -21,6 +22,7 @@ use rand::Rng;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CascadeClient {
     hop_keys: Vec<PublicKey>,
+    compression: CompressionConfig,
 }
 
 impl CascadeClient {
@@ -35,7 +37,27 @@ impl CascadeClient {
             !hop_keys.is_empty(),
             "cascade client needs at least one hop"
         );
-        CascadeClient { hop_keys }
+        CascadeClient {
+            hop_keys,
+            compression: CompressionConfig::F32,
+        }
+    }
+
+    /// Sets the wire compression mode for every update this client seals.
+    ///
+    /// All participants of a round must agree on the mode (it is part of
+    /// the round's configuration, like the layer signature) — a client on
+    /// a different mode would produce differently-sized envelopes and
+    /// stand out from its route group.
+    #[must_use]
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// The wire compression mode this client seals with.
+    pub fn compression(&self) -> CompressionConfig {
+        self.compression
     }
 
     /// Verifies every hop's quote (platform signature, expected
@@ -62,6 +84,7 @@ impl CascadeClient {
         }
         Ok(CascadeClient {
             hop_keys: hops.iter().map(|d| d.public_key).collect(),
+            compression: CompressionConfig::F32,
         })
     }
 
@@ -84,7 +107,7 @@ impl CascadeClient {
         params: &ModelParams,
         rng: &mut R,
     ) -> Result<Vec<u8>, CascadeError> {
-        Ok(OnionUpdate::build(params, &self.hop_keys, rng)?.encode())
+        Ok(OnionUpdate::build_with(params, &self.hop_keys, self.compression, rng)?.encode())
     }
 }
 

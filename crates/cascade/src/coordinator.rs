@@ -28,6 +28,7 @@ use crate::{
     CascadeClient, CascadeError, CascadeHop, CascadeHopConfig, CascadeTopology, HopDescriptor,
     LinearChain, OnionUpdate,
 };
+use mixnn_core::codec::CompressionConfig;
 use mixnn_core::{
     map_chunked, shard_seed, Endpoint, InProcessLink, MixPlan, Parallelism, ProxyStats, RoundLink,
 };
@@ -75,6 +76,11 @@ pub struct CascadeConfig {
     /// is configured on each [`CascadeHopConfig`] (or wholesale via
     /// [`CascadeCoordinator::set_parallelism`]).
     pub parallelism: Parallelism,
+    /// Wire compression for every sealed update (and every injected
+    /// cover update) of this cascade. Round-wide by construction: mixed
+    /// modes within a round would make envelope sizes a client
+    /// fingerprint, so the knob lives here and not on individual clients.
+    pub compression: CompressionConfig,
 }
 
 /// Everything one cascade round produced.
@@ -509,6 +515,7 @@ pub struct CascadeCoordinator {
     signature: Vec<usize>,
     policy: FailurePolicy,
     parallelism: Parallelism,
+    compression: CompressionConfig,
     telemetry: Telemetry,
     rounds_driven: u64,
     dummy_nonce: u64,
@@ -567,6 +574,7 @@ impl CascadeCoordinator {
             signature: config.expected_signature,
             policy: config.policy,
             parallelism: config.parallelism,
+            compression: config.compression,
             telemetry: mixnn_telemetry::noop(),
             rounds_driven: 0,
             dummy_nonce: 0,
@@ -641,6 +649,7 @@ impl CascadeCoordinator {
                 hops,
                 policy,
                 parallelism: Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(LinearChain::new(hop_count.max(1))),
             attestation,
@@ -676,6 +685,7 @@ impl CascadeCoordinator {
                 hops,
                 policy,
                 parallelism: Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             topology,
             attestation,
@@ -697,6 +707,19 @@ impl CascadeCoordinator {
         for hop in &mut self.hops {
             hop.set_parallelism(parallelism);
         }
+    }
+
+    /// The wire compression every round of this cascade seals with.
+    pub fn compression(&self) -> CompressionConfig {
+        self.compression
+    }
+
+    /// Switches the round-wide wire compression. Takes effect from the
+    /// next round; changing it mid-deployment is a *coordinated* rollout
+    /// decision — clients on the old mode would produce differently-sized
+    /// envelopes and stand out from their route groups.
+    pub fn set_compression(&mut self, compression: CompressionConfig) {
+        self.compression = compression;
     }
 
     /// The hops, in hop-index order (skipped ones included).
@@ -775,7 +798,10 @@ impl CascadeCoordinator {
         let chain = self.active_chain(UNIFORMITY_PROBE_SLOTS)?;
         let descriptors: Vec<HopDescriptor> =
             chain.iter().map(|&h| self.hops[h].descriptor()).collect();
-        CascadeClient::from_attested_hops(&descriptors, attestation)
+        Ok(
+            CascadeClient::from_attested_hops(&descriptors, attestation)?
+                .with_compression(self.compression),
+        )
     }
 
     /// Builds a **verified** participant-side client for one slot's route
@@ -796,7 +822,10 @@ impl CascadeCoordinator {
         let route = self.active_route(slot)?;
         let descriptors: Vec<HopDescriptor> =
             route.iter().map(|&h| self.hops[h].descriptor()).collect();
-        CascadeClient::from_attested_hops(&descriptors, attestation)
+        Ok(
+            CascadeClient::from_attested_hops(&descriptors, attestation)?
+                .with_compression(self.compression),
+        )
     }
 
     /// The uniform active route: the topology's shared route with skipped
@@ -838,6 +867,7 @@ impl CascadeCoordinator {
         hops: &[CascadeHop],
         groups: &[RouteGroup],
         updates: &[ModelParams],
+        compression: CompressionConfig,
         rng: &mut R,
     ) -> Vec<Vec<Vec<u8>>> {
         groups
@@ -845,7 +875,7 @@ impl CascadeCoordinator {
             .map(|group| {
                 let keys: Vec<PublicKey> =
                     group.route.iter().map(|&h| *hops[h].public_key()).collect();
-                let client = CascadeClient::from_keys(keys);
+                let client = CascadeClient::from_keys(keys).with_compression(compression);
                 group
                     .slots
                     .iter()
@@ -1159,8 +1189,20 @@ impl CascadeCoordinator {
                         let dummy =
                             self.hops[hop].generate_dummy(&self.signature, self.dummy_nonce);
                         self.dummy_nonce += 1;
-                        dummy_digests
-                            .push(dummy.iter().map(mixnn_core::codec::layer_digest).collect());
+                        // Announce the digest of what the wire will
+                        // deliver: under a lossy codec the server decodes
+                        // the *dequantized* cover layers, so digest the
+                        // canonical post-wire form (identity under F32).
+                        dummy_digests.push(
+                            dummy
+                                .iter()
+                                .map(|l| {
+                                    mixnn_core::codec::layer_digest(
+                                        &mixnn_core::codec::canonical_layer(l, self.compression),
+                                    )
+                                })
+                                .collect(),
+                        );
                         group.slots.push(padded.len());
                         padded.push(dummy);
                     }
@@ -1174,7 +1216,8 @@ impl CascadeCoordinator {
             // One sealing pass per attempt, canonical order, shared by both
             // drives below — identical `rng` consumption at every worker
             // count.
-            let batches = Self::seal_groups(&self.hops, &groups, round_updates, rng);
+            let batches =
+                Self::seal_groups(&self.hops, &groups, round_updates, self.compression, rng);
 
             if link.is_transparent() && self.parallelism.group_workers > 1 && groups.len() > 1 {
                 if let Some(round) = self.try_concurrent_round(&groups, &batches, clients) {
@@ -1387,6 +1430,7 @@ impl CascadeCoordinator {
         let hops = &self.hops;
         let signature = &self.signature;
         let group_workers = self.parallelism.group_workers;
+        let compression = self.compression;
         let tasks: Vec<usize> = (0..rounds.len()).collect();
         let outcomes: Vec<Option<Vec<GroupOutcome>>> = map_chunked(
             &tasks,
@@ -1397,6 +1441,7 @@ impl CascadeCoordinator {
                     hops,
                     groups,
                     &rounds[r],
+                    compression,
                     &mut StdRng::seed_from_u64(seeds[r]),
                 );
                 let group_tasks: Vec<usize> = (0..groups.len()).collect();
@@ -1705,6 +1750,7 @@ mod tests {
                 hops,
                 policy: FailurePolicy::Abort,
                 parallelism: Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(LinearChain::new(3)),
             &service,
@@ -1737,6 +1783,7 @@ mod tests {
                 hops,
                 policy: FailurePolicy::Skip,
                 parallelism: Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(LinearChain::new(3)),
             &service,
@@ -1807,6 +1854,7 @@ mod tests {
                 hops,
                 policy: FailurePolicy::Skip,
                 parallelism: Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(Split),
             &service,
@@ -1846,6 +1894,7 @@ mod tests {
                     .collect(),
                 policy: FailurePolicy::Skip,
                 parallelism: Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(LinearChain::new(2)),
             &service,
@@ -1886,6 +1935,7 @@ mod tests {
                     hops: vec![],
                     policy: FailurePolicy::Abort,
                     parallelism: Parallelism::sequential(),
+                    compression: CompressionConfig::F32,
                 },
                 Box::new(LinearChain::new(1)),
                 &service,
@@ -1900,6 +1950,7 @@ mod tests {
                     hops: vec![CascadeHopConfig::default()],
                     policy: FailurePolicy::Abort,
                     parallelism: Parallelism::sequential(),
+                    compression: CompressionConfig::F32,
                 },
                 Box::new(LinearChain::new(1)),
                 &service,
@@ -1914,6 +1965,7 @@ mod tests {
                     hops: vec![CascadeHopConfig::default()],
                     policy: FailurePolicy::Abort,
                     parallelism: Parallelism::sequential(),
+                    compression: CompressionConfig::F32,
                 },
                 Box::new(LinearChain::new(2)),
                 &service,
@@ -2064,6 +2116,7 @@ mod tests {
                     expected_signature: vec![3, 2],
                     hops,
                     policy: FailurePolicy::Skip,
+                    compression: CompressionConfig::F32,
                     parallelism: Parallelism {
                         group_workers,
                         ..Parallelism::sequential()
@@ -2147,6 +2200,7 @@ mod tests {
                     hops,
                     policy: FailurePolicy::Skip,
                     parallelism,
+                    compression: CompressionConfig::F32,
                 },
                 Box::new(LinearChain::new(3)),
                 &service,

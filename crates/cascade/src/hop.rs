@@ -312,6 +312,20 @@ impl CascadeHop {
                 });
             match unwrapped {
                 Ok(inner) => {
+                    if depth == 1 {
+                        // This hop is last: the unwrap exposed the layer's
+                        // plaintext frame. Validate its structure (v1 or
+                        // v2, headers + exact geometry — no decompression,
+                        // no float work) so a malformed frame is charged to
+                        // this ingest instead of surfacing at the server.
+                        if let Err(e) = mixnn_core::codec::validate_layer_frame(&inner) {
+                            self.free_charged(
+                                charged + inner.len(),
+                                "while failing an ingest stage",
+                            );
+                            return (Some(depth), Err(self.hop_err(e)));
+                        }
+                    }
                     charged += inner.len();
                     blobs.push(inner);
                 }

@@ -34,6 +34,7 @@
 use crate::CascadeError;
 use bytes::{Buf, BufMut};
 use mixnn_core::codec;
+use mixnn_core::codec::CompressionConfig;
 use mixnn_crypto::{PublicKey, SealedBox};
 use mixnn_nn::ModelParams;
 use rand::Rng;
@@ -69,12 +70,32 @@ impl OnionUpdate {
         hop_keys: &[PublicKey],
         rng: &mut R,
     ) -> Result<Self, CascadeError> {
+        Self::build_with(params, hop_keys, CompressionConfig::F32, rng)
+    }
+
+    /// [`OnionUpdate::build`] with an explicit wire compression mode for
+    /// the innermost layer plaintext.
+    ///
+    /// The compressed frame lengths are signature-derived
+    /// (`codec::encoded_layer_len_with`), so two onions built for the same
+    /// model signature and chain length are byte-length-identical layer by
+    /// layer — compression never becomes a client fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OnionUpdate::build`].
+    pub fn build_with<R: Rng + ?Sized>(
+        params: &ModelParams,
+        hop_keys: &[PublicKey],
+        compression: CompressionConfig,
+        rng: &mut R,
+    ) -> Result<Self, CascadeError> {
         assert!(!hop_keys.is_empty(), "onion needs at least one hop key");
         assert!(hop_keys.len() <= u8::MAX as usize, "chain too long");
         let layers = params
             .iter()
             .map(|layer| {
-                let mut blob = codec::encode_layer(layer);
+                let mut blob = codec::encode_layer_with(layer, compression);
                 for key in hop_keys.iter().rev() {
                     blob = SealedBox::seal(&blob, key, rng)
                         .map_err(|source| CascadeError::Seal { source })?;
@@ -334,6 +355,62 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("implausible"));
+    }
+
+    #[test]
+    fn compressed_onion_peels_to_the_canonical_decode() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<KeyPair> = (0..2).map(|_| KeyPair::generate(&mut rng)).collect();
+        let publics: Vec<PublicKey> = keys.iter().map(|k| *k.public()).collect();
+        let p = params();
+        for mode in [CompressionConfig::Int8, CompressionConfig::int8_top_k()] {
+            let onion = OnionUpdate::build_with(&p, &publics, mode, &mut rng).unwrap();
+            let mut layers = onion.into_layers();
+            for kp in &keys {
+                layers = layers
+                    .iter()
+                    .map(|blob| SealedBox::open(blob, kp).unwrap())
+                    .collect();
+            }
+            let decoded = OnionUpdate::from_parts(0, layers)
+                .into_params(&p.signature())
+                .unwrap();
+            // The server recovers exactly the canonical post-wire values.
+            assert_eq!(
+                decoded,
+                codec::canonical_params(&p, mode),
+                "{}",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_onions_are_length_identical_across_contents() {
+        // Same signature, different values -> every layer blob (and the
+        // whole framed message) is byte-length-identical. This is the
+        // unlinkability requirement the v2 codec exists to preserve.
+        let mut rng = StdRng::seed_from_u64(8);
+        let keys: Vec<PublicKey> = (0..3)
+            .map(|_| *KeyPair::generate(&mut rng).public())
+            .collect();
+        let a = params();
+        let b = ModelParams::from_layers(vec![
+            LayerParams::from_values(vec![f32::NAN, 1e30, -1e-30]),
+            LayerParams::from_values(vec![0.0]),
+        ]);
+        for mode in [
+            CompressionConfig::F32,
+            CompressionConfig::Int8,
+            CompressionConfig::int8_top_k(),
+        ] {
+            let oa = OnionUpdate::build_with(&a, &keys, mode, &mut rng).unwrap();
+            let ob = OnionUpdate::build_with(&b, &keys, mode, &mut rng).unwrap();
+            for (la, lb) in oa.layers().iter().zip(ob.layers()) {
+                assert_eq!(la.len(), lb.len(), "{}", mode.name());
+            }
+            assert_eq!(oa.encode().len(), ob.encode().len(), "{}", mode.name());
+        }
     }
 
     #[test]

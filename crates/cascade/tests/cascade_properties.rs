@@ -21,6 +21,7 @@ use mixnn_cascade::{
     CascadeConfig, CascadeCoordinator, CascadeHopConfig, CascadeRound, CascadeTopology,
     FailurePolicy, FreeRoute, LinearChain, StratifiedLayout,
 };
+use mixnn_core::codec::CompressionConfig;
 use mixnn_core::Parallelism;
 use mixnn_enclave::{AttestationService, EnclaveConfig};
 use mixnn_nn::{LayerParams, ModelParams};
@@ -74,10 +75,21 @@ type Observed = (
     Vec<(u64, u64, u64, u64, u64)>,
 );
 
+/// The compression mode under test for a proptest-drawn discriminant.
+fn compression_for(kind: usize) -> CompressionConfig {
+    match kind {
+        0 => CompressionConfig::F32,
+        1 => CompressionConfig::Int8,
+        _ => CompressionConfig::int8_top_k(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn observe(
     topology: Box<dyn CascadeTopology>,
     parallelism: Parallelism,
     policy: FailurePolicy,
+    compression: CompressionConfig,
     dead_hop: Option<usize>,
     rounds: &[Vec<ModelParams>],
     layers: usize,
@@ -105,6 +117,7 @@ fn observe(
             hops: hop_configs,
             policy,
             parallelism,
+            compression,
         },
         topology,
         &service,
@@ -251,6 +264,7 @@ proptest! {
                 hops: hop_configs,
                 policy: FailurePolicy::Skip,
                 parallelism: mixnn_core::Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(LinearChain::new(hops)),
             &service,
@@ -278,6 +292,7 @@ proptest! {
     fn outputs_are_invariant_to_every_parallelism_knob(
         hops in 1usize..5,
         kind in 0usize..4,
+        comp in 0usize..3,
         clients in 3usize..9,
         layers in 1usize..4,
         ingest_workers in 1usize..5,
@@ -286,6 +301,7 @@ proptest! {
         rounds in 1usize..4,
         seed in 0u64..1000,
     ) {
+        let compression = compression_for(comp);
         let batch: Vec<Vec<ModelParams>> = (0..rounds)
             .map(|r| round_updates(clients, layers, seed ^ (r as u64) << 9))
             .collect();
@@ -293,6 +309,7 @@ proptest! {
             layout_for(kind, hops, clients, seed),
             Parallelism::sequential(),
             FailurePolicy::Abort,
+            compression,
             None,
             &batch,
             layers,
@@ -307,15 +324,22 @@ proptest! {
                 ..Parallelism::sequential()
             },
             FailurePolicy::Abort,
+            compression,
             None,
             &batch,
             layers,
             seed,
         );
         prop_assert_eq!(&sequential, &parallel);
-        // And the audits stay honest: unmix restores every round.
+        // And the audits stay honest: unmix restores every round — the
+        // canonical post-wire form of it under a lossy codec (bit-exact
+        // under F32, where canonicalization is the identity).
         for (r, round) in sequential.0.iter().enumerate() {
-            prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &batch[r]);
+            let expect: Vec<ModelParams> = batch[r]
+                .iter()
+                .map(|p| mixnn_core::codec::canonical_params(p, compression))
+                .collect();
+            prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &expect);
         }
     }
 
@@ -323,6 +347,7 @@ proptest! {
     fn epc_exhaustion_skip_path_is_parallelism_invariant(
         hops in 2usize..5,
         dead in 1usize..4,
+        comp in 0usize..3,
         clients in 3usize..8,
         layers in 1usize..4,
         ingest_workers in 2usize..5,
@@ -333,7 +358,8 @@ proptest! {
         // An EPC-starved intermediate hop forces the optimistic concurrent
         // paths to discard themselves mid-flight; the fallback must land on
         // exactly the sequential skip outcome — outputs, skip events, RNG
-        // position and counters alike.
+        // position and counters alike — in every compression mode.
+        let compression = compression_for(comp);
         let dead = dead.min(hops - 1);
         let batch: Vec<Vec<ModelParams>> = (0..2)
             .map(|r| round_updates(clients, layers, seed ^ (r as u64) << 9))
@@ -342,6 +368,7 @@ proptest! {
             Box::new(LinearChain::new(hops)),
             Parallelism::sequential(),
             FailurePolicy::Skip,
+            compression,
             Some(dead),
             &batch,
             layers,
@@ -357,6 +384,7 @@ proptest! {
                 ..Parallelism::sequential()
             },
             FailurePolicy::Skip,
+            compression,
             Some(dead),
             &batch,
             layers,
@@ -364,7 +392,11 @@ proptest! {
         );
         prop_assert_eq!(&sequential, &parallel);
         for (r, round) in sequential.0.iter().enumerate() {
-            prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &batch[r]);
+            let expect: Vec<ModelParams> = batch[r]
+                .iter()
+                .map(|p| mixnn_core::codec::canonical_params(p, compression))
+                .collect();
+            prop_assert_eq!(&round.audit.unmix(&round.mixed).expect("unmix"), &expect);
         }
     }
 }

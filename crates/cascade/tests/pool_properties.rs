@@ -5,20 +5,23 @@
 //!   schedule × pool size × deadline × layout, the full drain — firing
 //!   order, triggers, member slots, padded rounds, cover digests, audits —
 //!   is bit-identical between any `Parallelism` setting and the
-//!   sequential reference drain. Padding happens in the deterministic
-//!   pre-phase shared by both drive paths, so cover cannot introduce
-//!   schedule-dependence.
+//!   sequential reference drain — under every wire codec mode, lossy or
+//!   not. Padding happens in the deterministic pre-phase shared by both
+//!   drive paths, so cover cannot introduce schedule-dependence.
 //! * **The k-floor holds on every firing.** Every fired pool carries
 //!   `real + dummies ≥ k`, and every route group inside it is padded to
 //!   at least `k` members — across 1..4 hops and all three layouts.
 //! * **Cover strips to identity.** Each fired round's dummy-stripped
 //!   server outputs aggregate bit-identically to the plain mean of the
 //!   pool's real members, and every client is committed exactly once.
+//!   Under a lossy codec the same identity holds against the members'
+//!   canonical (quantize∘dequantize) images.
 
 use mixnn_cascade::{
     CascadeCoordinator, CascadeTopology, FailurePolicy, FreeRoute, LinearChain, PoolConfig,
     PooledCoordinator, PooledRound, StratifiedLayout,
 };
+use mixnn_core::codec::{canonical_params, CompressionConfig};
 use mixnn_core::{InProcessLink, Parallelism};
 use mixnn_enclave::AttestationService;
 use mixnn_nn::{LayerParams, ModelParams};
@@ -49,6 +52,14 @@ fn round_updates(clients: usize, layers: usize, seed: u64) -> Vec<ModelParams> {
         .collect()
 }
 
+fn compression_for(kind: usize) -> CompressionConfig {
+    match kind {
+        0 => CompressionConfig::F32,
+        1 => CompressionConfig::Int8,
+        _ => CompressionConfig::int8_top_k(),
+    }
+}
+
 fn layout_for(kind: usize, hops: usize, seed: u64) -> Box<dyn CascadeTopology> {
     match kind {
         0 => Box::new(LinearChain::new(hops)),
@@ -74,6 +85,7 @@ fn drain(
     k: usize,
     deadline_ns: u64,
     parallelism: Parallelism,
+    compression: CompressionConfig,
     clients: usize,
     layers: usize,
     seed: u64,
@@ -92,6 +104,7 @@ fn drain(
     )
     .expect("valid configuration");
     cascade.set_parallelism(parallelism);
+    cascade.set_compression(compression);
     let mut pooled = PooledCoordinator::new(cascade, PoolConfig { k, deadline_ns }, seed ^ 0x5ea1)
         .expect("valid pool config");
     pooled.attach_telemetry(telemetry);
@@ -147,11 +160,14 @@ proptest! {
         ingest_workers in 1usize..5,
         group_workers in 1usize..5,
         pipeline_depth in 1usize..5,
+        comp in 0usize..3,
         seed in 0u64..1000,
     ) {
+        let compression = compression_for(comp);
         let reference = drain(
             kind, hops, k, deadline_ns,
             Parallelism::sequential(),
+            compression,
             clients, layers, seed,
         );
         let knobbed = drain(
@@ -162,6 +178,7 @@ proptest! {
                 pipeline_depth,
                 ..Parallelism::sequential()
             },
+            compression,
             clients, layers, seed,
         );
         // Firing order, triggers, slots, padded rounds, audits and cover
@@ -190,6 +207,7 @@ proptest! {
         let fired = drain(
             kind, hops, k, deadline_ns,
             Parallelism::sequential(),
+            CompressionConfig::F32,
             clients, layers, seed,
         );
         prop_assert!(!fired.is_empty(), "the drain commits at least one pool");
@@ -225,5 +243,45 @@ proptest! {
         }
         // Exactly-once commitment across the whole drain.
         prop_assert!(committed.iter().all(|&c| c == 1), "{:?}", committed);
+    }
+
+    // Under a lossy wire codec the server cannot see the original
+    // updates, only their canonical (quantize∘dequantize) images — and
+    // the dummy-stripped aggregate must equal the canonical members'
+    // mean bit for bit, with cover still stripping cleanly. That is the
+    // pooled-path half of the compression bit-identity gate.
+    #[test]
+    fn compressed_pools_strip_to_the_canonical_aggregate(
+        kind in 0usize..3,
+        hops in 1usize..4,
+        k in 2usize..6,
+        deadline_ns in 100u64..2_000,
+        clients in 4usize..9,
+        layers in 1usize..4,
+        comp in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let compression = compression_for(comp);
+        let updates = round_updates(clients, layers, seed);
+        let fired = drain(
+            kind, hops, k, deadline_ns,
+            Parallelism::sequential(),
+            compression,
+            clients, layers, seed,
+        );
+        prop_assert!(!fired.is_empty());
+        for round in &fired {
+            let stripped = round.server_outputs().expect("cover strips cleanly");
+            prop_assert_eq!(stripped.len(), round.real());
+            let members: Vec<ModelParams> = round
+                .slots
+                .iter()
+                .map(|&s| canonical_params(&updates[s], compression))
+                .collect();
+            prop_assert_eq!(
+                ModelParams::mean(&stripped),
+                ModelParams::mean(&members)
+            );
+        }
     }
 }

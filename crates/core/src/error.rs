@@ -13,6 +13,14 @@ pub enum ProxyError {
         /// Human-readable decode failure.
         reason: String,
     },
+    /// The wire carried a codec version this build does not speak.
+    /// Distinct from [`ProxyError::Codec`] so deployments rolling out a
+    /// newer format can tell "peer is ahead of us" from "peer is sending
+    /// garbage".
+    UnsupportedCodecVersion {
+        /// The version byte observed on the wire.
+        version: u8,
+    },
     /// An update's layer signature does not match the model this proxy was
     /// configured for.
     SignatureMismatch {
@@ -36,6 +44,9 @@ impl fmt::Display for ProxyError {
         match self {
             ProxyError::Enclave(e) => write!(f, "enclave failure in proxy: {e}"),
             ProxyError::Codec { reason } => write!(f, "malformed update on the wire: {reason}"),
+            ProxyError::UnsupportedCodecVersion { version } => {
+                write!(f, "unsupported codec version {version} on the wire")
+            }
             ProxyError::SignatureMismatch { expected, actual } => write!(
                 f,
                 "update signature {actual:?} does not match proxy model {expected:?}"

@@ -1,5 +1,6 @@
 //! Plugging the proxy into the federated round loop.
 
+use crate::codec::CompressionConfig;
 use crate::{codec, MixingStrategy, MixnnProxy, ParallelIngest, ProxyError};
 use mixnn_crypto::SealedBox;
 use mixnn_nn::ModelParams;
@@ -45,6 +46,7 @@ pub enum TransportMode {
 pub struct MixnnTransport {
     proxy: MixnnProxy,
     mode: TransportMode,
+    compression: CompressionConfig,
     /// RNG standing in for the participants' sealing entropy.
     participant_rng: StdRng,
 }
@@ -55,8 +57,23 @@ impl MixnnTransport {
         MixnnTransport {
             proxy,
             mode,
+            compression: CompressionConfig::F32,
             participant_rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Sets the wire compression participants encode with before sealing.
+    /// Round-wide, like the mixing strategy: every participant of a round
+    /// must share it or envelope sizes become a fingerprint.
+    #[must_use]
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// The wire compression this transport seals with.
+    pub fn compression(&self) -> CompressionConfig {
+        self.compression
     }
 
     /// Access to the proxy (stats, memory, last plan).
@@ -92,7 +109,7 @@ impl MixnnTransport {
                     .iter()
                     .map(|p| {
                         SealedBox::seal(
-                            &codec::encode_params(p),
+                            &codec::encode_params_with(p, self.compression),
                             self.proxy.public_key(),
                             &mut self.participant_rng,
                         )

@@ -1,0 +1,179 @@
+//! Fuzz-style property tests for the wire codec's version negotiation.
+//!
+//! The codec's decoders face adversary-supplied bytes at the hop and
+//! server boundaries, so this suite drives them with uniform *bit
+//! patterns* — NaNs, infinities and subnormals on the value side;
+//! arbitrary garbage, truncations, max-length headers and corrupted
+//! valid frames on the byte side — and pins two properties: well-formed
+//! encodings round-trip under every mode and version, and malformed
+//! input is always a typed error, never a panic, a wrong value or an
+//! attacker-sized allocation.
+
+use mixnn_core::codec::{
+    canonical_layer, canonical_params, decode_layer, decode_params, encode_layer_with,
+    encode_params_with, encoded_layer_len_with, encoded_len_with, validate_layer_frame,
+    CompressionConfig, V2_SENTINEL,
+};
+use mixnn_core::ProxyError;
+use mixnn_nn::{LayerParams, ModelParams};
+use proptest::collection::vec;
+use proptest::num;
+use proptest::prelude::*;
+
+/// The three wire modes, indexed so proptest can draw one.
+fn mode(kind: usize) -> CompressionConfig {
+    match kind % 3 {
+        0 => CompressionConfig::F32,
+        1 => CompressionConfig::Int8,
+        _ => CompressionConfig::int8_top_k(),
+    }
+}
+
+fn params_from(chunks: Vec<Vec<f32>>) -> ModelParams {
+    ModelParams::from_layers(chunks.into_iter().map(LayerParams::from_values).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Any finite-or-not bit pattern round-trips: v1 bit-exactly, v2 to
+    // its canonical (quantize∘dequantize) image — and the canonical
+    // image is a fixed point, so re-encoding it reproduces the frame.
+    #[test]
+    fn layer_roundtrips_under_every_mode(
+        values in vec(num::f32::ANY, 0..300),
+        kind in 0usize..3,
+    ) {
+        let compression = mode(kind);
+        let layer = LayerParams::from_values(values);
+        let bytes = encode_layer_with(&layer, compression);
+        prop_assert_eq!(bytes.len(), encoded_layer_len_with(layer.len(), compression));
+        validate_layer_frame(&bytes).unwrap();
+        let decoded = decode_layer(&bytes).unwrap();
+        let canonical = canonical_layer(&layer, compression);
+        // Bitwise comparison: NaN payloads must survive v1 unchanged.
+        let decoded_bits: Vec<u32> = decoded.values().iter().map(|v| v.to_bits()).collect();
+        let canonical_bits: Vec<u32> = canonical.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(decoded_bits, canonical_bits);
+        prop_assert_eq!(encode_layer_with(&canonical, compression), bytes);
+    }
+
+    // Same at the model level, zero-length layers included, and the
+    // encoded length must match the signature arithmetic exactly.
+    #[test]
+    fn params_roundtrip_under_every_mode(
+        chunks in vec(vec(num::f32::ANY, 0..40), 0..6),
+        kind in 0usize..3,
+    ) {
+        let compression = mode(kind);
+        let params = params_from(chunks);
+        let bytes = encode_params_with(&params, compression);
+        prop_assert_eq!(bytes.len(), encoded_len_with(&params.signature(), compression));
+        let decoded = decode_params(&bytes).unwrap();
+        let canonical = canonical_params(&params, compression);
+        let decoded_bits: Vec<u32> =
+            decoded.flatten().iter().map(|v| v.to_bits()).collect();
+        let canonical_bits: Vec<u32> =
+            canonical.flatten().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(decoded_bits, canonical_bits);
+    }
+
+    // Arbitrary garbage never panics any decoder — it decodes (the rare
+    // accidentally-valid draw) or returns a typed error.
+    #[test]
+    fn garbage_bytes_never_panic(bytes in vec(num::u8::ANY, 0..200)) {
+        let _ = decode_params(&bytes);
+        let _ = decode_layer(&bytes);
+        let _ = validate_layer_frame(&bytes);
+    }
+
+    // Every proper prefix of a valid encoding is rejected, under every
+    // mode and at both framing levels.
+    #[test]
+    fn truncations_error_cleanly(
+        values in vec(num::f32::ANY, 1..60),
+        kind in 0usize..3,
+        cut_seed in num::usize::ANY,
+    ) {
+        let compression = mode(kind);
+        let layer = LayerParams::from_values(values.clone());
+        let frame = encode_layer_with(&layer, compression);
+        let cut = cut_seed % frame.len();
+        prop_assert!(decode_layer(&frame[..cut]).is_err());
+        prop_assert!(validate_layer_frame(&frame[..cut]).is_err());
+
+        let params = ModelParams::from_layers(vec![LayerParams::from_values(values)]);
+        let body = encode_params_with(&params, compression);
+        let cut = cut_seed % body.len();
+        prop_assert!(decode_params(&body[..cut]).is_err());
+    }
+
+    // Flipping one byte of a valid frame never panics. A corrupted
+    // header may still parse self-consistently (e.g. a shorter length
+    // whose top-k geometry lands on the same frame size) — content
+    // authenticity is the sealed box's job, not the codec's — but
+    // whatever `decode_layer` accepts, the structural validator must
+    // accept too, and vice versa.
+    #[test]
+    fn corrupted_frames_never_panic(
+        values in vec(num::f32::ANY, 1..60),
+        kind in 0usize..3,
+        pos_seed in num::usize::ANY,
+        flip in 1u8..=255,
+    ) {
+        let compression = mode(kind);
+        let layer = LayerParams::from_values(values);
+        let mut frame = encode_layer_with(&layer, compression);
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= flip;
+        prop_assert_eq!(
+            decode_layer(&frame).is_ok(),
+            validate_layer_frame(&frame).is_ok()
+        );
+    }
+
+    // Adversarial v2 headers advertising up to u32::MAX values must be
+    // rejected by header/length arithmetic alone — no panic and no
+    // allocation proportional to the claimed length.
+    #[test]
+    fn max_len_headers_are_rejected_without_allocating(
+        version in num::u8::ANY,
+        mode_byte in num::u8::ANY,
+        len in 0u32..=u32::MAX,
+        tail in vec(num::u8::ANY, 0..32),
+    ) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&V2_SENTINEL.to_be_bytes());
+        frame.push(version);
+        frame.push(mode_byte);
+        frame.extend_from_slice(&len.to_be_bytes());
+        frame.extend_from_slice(&tail);
+        // A claimed length the tail cannot possibly back is malformed
+        // whatever the other header fields say.
+        if len as usize > 4 * tail.len() {
+            prop_assert!(decode_layer(&frame).is_err());
+            prop_assert!(validate_layer_frame(&frame).is_err());
+        } else {
+            let _ = decode_layer(&frame);
+            let _ = validate_layer_frame(&frame);
+        }
+    }
+
+    // An unknown version byte in a v2 frame is the *typed* negotiation
+    // error, not a generic parse failure.
+    #[test]
+    fn unknown_versions_yield_the_typed_error(
+        version in 3u8..=255,
+        tail in vec(num::u8::ANY, 0..40),
+    ) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&V2_SENTINEL.to_be_bytes());
+        frame.push(version);
+        frame.extend_from_slice(&tail);
+        match decode_layer(&frame) {
+            Err(ProxyError::UnsupportedCodecVersion { version: v }) => {
+                prop_assert_eq!(v, version);
+            }
+            other => prop_assert!(false, "expected version error, got {:?}", other),
+        }
+    }
+}

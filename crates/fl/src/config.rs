@@ -1,6 +1,7 @@
 //! Federated-learning hyper-parameters.
 
 use crate::Parallelism;
+use mixnn_core::codec::CompressionConfig;
 use serde::{Deserialize, Serialize};
 
 /// The local optimizer run by each participant.
@@ -50,6 +51,13 @@ pub struct FlConfig {
     /// ingest/mixing knobs are consumed by the proxy in `mixnn-core`).
     /// Results are identical at every setting; only throughput changes.
     pub parallelism: Parallelism,
+    /// Wire compression for update transports. Round-wide: every
+    /// participant must share the mode, or per-layer envelope sizes
+    /// fingerprint the clients that differ. Transports constructed from
+    /// this config (`MixnnTransport::with_compression`,
+    /// `CascadeCoordinator::set_compression`) adopt it; the lossless
+    /// default keeps aggregates bit-identical to classic FL.
+    pub compression: CompressionConfig,
 }
 
 impl Default for FlConfig {
@@ -65,6 +73,7 @@ impl Default for FlConfig {
             // One worker per hardware thread by default: results are
             // identical at any worker count, so this only buys speed.
             parallelism: Parallelism::available(),
+            compression: CompressionConfig::F32,
         }
     }
 }

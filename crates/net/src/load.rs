@@ -19,6 +19,7 @@
 use crate::frame::{burst_overhead_bytes, FRAME_HEADER_BYTES};
 use crate::link::FlushPolicy;
 use crate::sim::{LinkConfig, Packet, SimNet};
+use mixnn_core::codec::{encoded_layer_len_with, CompressionConfig};
 use mixnn_crypto::sealed_box::OVERHEAD as SEAL_OVERHEAD;
 use mixnn_telemetry::{Component, Telemetry, TraceKind};
 use std::cmp::Reverse;
@@ -56,6 +57,10 @@ pub struct LoadConfig {
     pub hop_service_ns_per_update: u64,
     /// A round not completed this long after its start aborts the run.
     pub timeout_ns: u64,
+    /// Wire compression of the innermost layer frames. Every envelope
+    /// size derives from `encoded_layer_len_with(len, compression)` —
+    /// content-independent, so the size-only packet model stays exact.
+    pub compression: CompressionConfig,
 }
 
 impl LoadConfig {
@@ -79,6 +84,7 @@ impl LoadConfig {
             arrival_spread_ns: 10_000_000_000, // clients trickle in over 10 s
             hop_service_ns_per_update: 5_000,  // ≈ batched decrypt cost
             timeout_ns: 600_000_000_000,
+            compression: CompressionConfig::F32,
         }
     }
 
@@ -160,10 +166,11 @@ fn err(message: impl Into<String>) -> LoadError {
 }
 
 /// Envelope wire size for layer `len` with `seals` sealed-box layers
-/// still wrapped around it (the MIXC per-layer encoding plus crypto
-/// overhead per remaining seal).
-fn envelope_bytes(len: usize, seals: usize) -> usize {
-    4 + 4 * len + SEAL_OVERHEAD * seals
+/// still wrapped around it: the layer's frame under `compression` (v1
+/// `4 + 4·len`, or a v2 quantized frame) plus crypto overhead per
+/// remaining seal.
+fn envelope_bytes(len: usize, seals: usize, compression: CompressionConfig) -> usize {
+    encoded_layer_len_with(len, compression) + SEAL_OVERHEAD * seals
 }
 
 /// A hop's (or the client pool's) not-yet-transmitted round output,
@@ -290,7 +297,7 @@ pub fn run_load_with(cfg: &LoadConfig, telemetry: &Telemetry) -> Result<LoadOutc
         .map(|s| {
             cfg.signature
                 .iter()
-                .map(|&len| envelope_bytes(len, hops - s))
+                .map(|&len| envelope_bytes(len, hops - s, cfg.compression))
                 .collect()
         })
         .collect();
@@ -570,10 +577,35 @@ mod tests {
         // one burst per client.
         let payload: usize = [2048usize, 2048, 1024, 512, 130]
             .iter()
-            .map(|&l| envelope_bytes(l, 2))
+            .map(|&l| envelope_bytes(l, 2, CompressionConfig::F32))
             .sum();
         let expected = burst_overhead_bytes(5) + payload;
         assert_eq!(out.bytes_on_wire_per_client, expected as f64);
+    }
+
+    #[test]
+    fn compressed_runs_cut_per_client_bytes_at_least_4x() {
+        let f32_out = run_load(&small(FlushPolicy::Batched)).unwrap();
+        let topk_out = run_load(&LoadConfig {
+            compression: CompressionConfig::int8_top_k(),
+            ..small(FlushPolicy::Batched)
+        })
+        .unwrap();
+        // Seal overhead and framing survive compression, so compare the
+        // full per-client figure — the ISSUE gate is on wire bytes.
+        assert!(
+            topk_out.bytes_on_wire_per_client * 4.0 <= f32_out.bytes_on_wire_per_client,
+            "topk {} B vs f32 {} B per client",
+            topk_out.bytes_on_wire_per_client,
+            f32_out.bytes_on_wire_per_client
+        );
+        // And the figure still matches the codec arithmetic exactly.
+        let payload: usize = [2048usize, 2048, 1024, 512, 130]
+            .iter()
+            .map(|&l| envelope_bytes(l, 2, CompressionConfig::int8_top_k()))
+            .sum();
+        let expected = burst_overhead_bytes(5) + payload;
+        assert_eq!(topk_out.bytes_on_wire_per_client, expected as f64);
     }
 
     #[test]

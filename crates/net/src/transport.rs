@@ -130,6 +130,7 @@ impl UpdateTransport for NetCascadeTransport {
 pub struct NetMixnnTransport {
     proxy: MixnnProxy,
     link: SimLink,
+    compression: codec::CompressionConfig,
     /// RNG standing in for the participants' sealing entropy.
     participant_rng: StdRng,
 }
@@ -146,8 +147,19 @@ impl NetMixnnTransport {
         NetMixnnTransport {
             proxy,
             link: SimLink::new(1, seed ^ 0x6e65_745f, cfg, flush, timeout_ns),
+            compression: codec::CompressionConfig::F32,
             participant_rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Sets the wire compression for the clients → proxy leg (the
+    /// per-client cost at scale). The proxy → server leg stays the
+    /// lossless v1 format: its payload is already-mixed aggregate input,
+    /// and re-quantizing decoded values would compound the loss.
+    #[must_use]
+    pub fn with_compression(mut self, compression: codec::CompressionConfig) -> Self {
+        self.compression = compression;
+        self
     }
 
     /// Access to the proxy (stats, memory, last plan).
@@ -177,7 +189,7 @@ impl NetMixnnTransport {
             .iter()
             .map(|p| {
                 SealedBox::seal(
-                    &codec::encode_params(p),
+                    &codec::encode_params_with(p, self.compression),
                     self.proxy.public_key(),
                     &mut self.participant_rng,
                 )

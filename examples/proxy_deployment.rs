@@ -18,6 +18,7 @@ use mixnn::cascade::{
 };
 use mixnn::enclave::{AttestationService, EnclaveConfig};
 use mixnn::nn::{LayerParams, ModelParams};
+use mixnn::proxy::codec::CompressionConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -157,6 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 hops: hop_configs,
                 policy,
                 parallelism: mixnn::proxy::Parallelism::sequential(),
+                compression: CompressionConfig::F32,
             },
             Box::new(LinearChain::new(hops)),
             &service,
