@@ -31,7 +31,7 @@ fn launch_hop(workers: usize, rng: &mut StdRng) -> CascadeHop {
             },
             ..CascadeHopConfig::default()
         },
-        SIGNATURE.len(),
+        &SIGNATURE,
         &service,
         rng,
     )

@@ -125,7 +125,7 @@ mod tests {
         let service = AttestationService::new(&mut rng);
         let descriptors = (0..n)
             .map(|i| {
-                CascadeHop::launch(i, CascadeHopConfig::default(), 1, &service, &mut rng)
+                CascadeHop::launch(i, CascadeHopConfig::default(), &[1], &service, &mut rng)
                     .descriptor()
             })
             .collect();

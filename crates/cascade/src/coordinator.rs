@@ -560,18 +560,18 @@ impl CascadeCoordinator {
                 ),
             });
         }
-        let layers = config.expected_signature.len();
+        let signature = config.expected_signature;
         let hops: Vec<CascadeHop> = config
             .hops
             .into_iter()
             .enumerate()
-            .map(|(i, hop_config)| CascadeHop::launch(i, hop_config, layers, attestation, rng))
+            .map(|(i, hop_config)| CascadeHop::launch(i, hop_config, &signature, attestation, rng))
             .collect();
         Ok(CascadeCoordinator {
             skipped: vec![false; hops.len()],
             topology,
             hops,
-            signature: config.expected_signature,
+            signature,
             policy: config.policy,
             parallelism: config.parallelism,
             compression: config.compression,

@@ -96,7 +96,10 @@ pub struct CascadeHop {
     expected_measurement: Measurement,
     rng: StdRng,
     dummy_seed: u64,
-    layers: usize,
+    /// The round's per-layer parameter counts. The length is the number
+    /// of blobs every onion must carry; the entries let the last hop pin
+    /// each unwrapped frame's declared geometry to the signature.
+    signature: Vec<usize>,
     stats: ProxyStats,
     parallelism: Parallelism,
     telemetry: Telemetry,
@@ -141,12 +144,14 @@ impl CascadeHop {
     /// Launches the hop inside a fresh enclave.
     ///
     /// `index` is the hop's position in the coordinator's hop list (used
-    /// in error reports); `layers` is the number of per-layer blobs every
-    /// onion must carry (the model's layer count).
+    /// in error reports); `signature` is the model's per-layer parameter
+    /// counts — its length is the number of per-layer blobs every onion
+    /// must carry, and the last hop of a chain validates each unwrapped
+    /// frame's declared geometry against the corresponding entry.
     pub fn launch<R: Rng + ?Sized>(
         index: usize,
         config: CascadeHopConfig,
-        layers: usize,
+        signature: &[usize],
         attestation: &AttestationService,
         rng: &mut R,
     ) -> Self {
@@ -162,7 +167,7 @@ impl CascadeHop {
             // comparable with unpadded ones. The tag is an arbitrary
             // constant far above any layer index shard_seed sees.
             dummy_seed: shard_seed(config.seed, 0x00c0_ffee),
-            layers,
+            signature: signature.to_vec(),
             stats: ProxyStats::default(),
             parallelism: config.parallelism,
             telemetry: mixnn_telemetry::noop(),
@@ -269,11 +274,11 @@ impl CascadeHop {
             Ok(onion) => onion,
             Err(e) => return (None, Err(e)),
         };
-        if onion.num_layers() != self.layers {
+        if onion.num_layers() != self.signature.len() {
             return (
                 None,
                 Err(self.hop_err(ProxyError::SignatureMismatch {
-                    expected: vec![self.layers],
+                    expected: vec![self.signature.len()],
                     actual: vec![onion.num_layers()],
                 })),
             );
@@ -298,8 +303,8 @@ impl CascadeHop {
         let sealed_layers = onion.into_layers();
         let opened = self.enclave.open_batch(&sealed_layers);
         let mut charged = 0usize;
-        let mut blobs = Vec::with_capacity(self.layers);
-        for (sealed, opened) in sealed_layers.iter().zip(opened) {
+        let mut blobs = Vec::with_capacity(self.signature.len());
+        for (layer_idx, (sealed, opened)) in sealed_layers.iter().zip(opened).enumerate() {
             let unwrapped = self
                 .enclave
                 .charge_opened(sealed.len(), opened)
@@ -316,9 +321,14 @@ impl CascadeHop {
                         // This hop is last: the unwrap exposed the layer's
                         // plaintext frame. Validate its structure (v1 or
                         // v2, headers + exact geometry — no decompression,
-                        // no float work) so a malformed frame is charged to
-                        // this ingest instead of surfacing at the server.
-                        if let Err(e) = mixnn_core::codec::validate_layer_frame(&inner) {
+                        // no float work) *and* pin its declared parameter
+                        // count to the round signature, so a malformed or
+                        // mis-sized frame is charged to this ingest instead
+                        // of surfacing (or allocating) at the server.
+                        if let Err(e) = mixnn_core::codec::validate_layer_frame_expecting(
+                            &inner,
+                            self.signature[layer_idx],
+                        ) {
                             self.free_charged(
                                 charged + inner.len(),
                                 "while failing an ingest stage",
@@ -523,7 +533,7 @@ impl CascadeHop {
         // hop's mixing semantics identical to the single proxy's. The plan
         // is drawn only after a fully successful ingest, so a failed round
         // never advances the hop's RNG stream.
-        let plan = MixPlan::for_round(rows.len(), self.layers, &mut self.rng);
+        let plan = MixPlan::for_round(rows.len(), self.signature.len(), &mut self.rng);
         let mut delta = ProxyStats::default();
         let finished = self.finish_round(rows, charged, depth, plan, &mut delta);
         self.stats.absorb(&delta);
@@ -575,7 +585,7 @@ impl CascadeHop {
         participants: usize,
         rng: &mut StdRng,
     ) -> Result<MixPlan, CascadeError> {
-        MixPlan::for_round(participants, self.layers, rng).map_err(|e| self.hop_err(e))
+        MixPlan::for_round(participants, self.signature.len(), rng).map_err(|e| self.hop_err(e))
     }
 
     /// Generates one cover ("dummy") update for this hop.
@@ -627,7 +637,10 @@ mod tests {
         ])
     }
 
-    fn launch_chain(n: usize, layers: usize) -> (Vec<CascadeHop>, AttestationService, StdRng) {
+    fn launch_chain(
+        n: usize,
+        signature: &[usize],
+    ) -> (Vec<CascadeHop>, AttestationService, StdRng) {
         let mut rng = StdRng::seed_from_u64(11);
         let service = AttestationService::new(&mut rng);
         let hops = (0..n)
@@ -638,7 +651,7 @@ mod tests {
                         seed: 100 + i as u64,
                         ..CascadeHopConfig::default()
                     },
-                    layers,
+                    signature,
                     &service,
                     &mut rng,
                 )
@@ -656,7 +669,7 @@ mod tests {
 
     #[test]
     fn hop_verifies_against_the_platform() {
-        let (hops, service, _) = launch_chain(2, 2);
+        let (hops, service, _) = launch_chain(2, &[3, 2]);
         for h in &hops {
             assert!(h.verify_against(&service));
             let d = h.descriptor();
@@ -666,7 +679,7 @@ mod tests {
 
     #[test]
     fn two_hop_round_restores_layer_multiset_and_frees_memory() {
-        let (mut hops, _, mut rng) = launch_chain(2, 2);
+        let (mut hops, _, mut rng) = launch_chain(2, &[3, 2]);
         let batch = onions(&hops, 5, &mut rng);
 
         let (batch, plan0) = hops[0].mix_round(&batch).unwrap();
@@ -695,7 +708,7 @@ mod tests {
 
     #[test]
     fn garbage_wire_fails_the_round_and_leaks_nothing() {
-        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let (mut hops, _, mut rng) = launch_chain(1, &[3, 2]);
         let mut batch = onions(&hops, 3, &mut rng);
         batch[1] = vec![0u8; 40];
         assert!(hops[0].mix_round(&batch).is_err());
@@ -706,7 +719,7 @@ mod tests {
 
     #[test]
     fn tampered_envelope_fails_authentication() {
-        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let (mut hops, _, mut rng) = launch_chain(1, &[3, 2]);
         let mut batch = onions(&hops, 3, &mut rng);
         let last = batch[0].len() - 1;
         batch[0][last] ^= 1;
@@ -730,7 +743,7 @@ mod tests {
                 seed: 5,
                 ..CascadeHopConfig::default()
             },
-            2,
+            &[3, 2],
             &service,
             &mut rng,
         );
@@ -756,7 +769,7 @@ mod tests {
     #[test]
     fn staged_ingest_is_worker_count_invariant() {
         let run = |workers: usize| {
-            let (mut hops, _, mut rng) = launch_chain(2, 2);
+            let (mut hops, _, mut rng) = launch_chain(2, &[3, 2]);
             for h in &mut hops {
                 h.set_parallelism(Parallelism {
                     ingest_workers: workers,
@@ -804,7 +817,7 @@ mod tests {
                         ..Parallelism::sequential()
                     },
                 },
-                2,
+                &[3, 2],
                 &service,
                 &mut rng,
             );
@@ -837,7 +850,7 @@ mod tests {
     #[test]
     fn mixed_depth_round_fails_identically_at_every_worker_count() {
         let run = |workers: usize| {
-            let (mut hops, _, mut rng) = launch_chain(2, 2);
+            let (mut hops, _, mut rng) = launch_chain(2, &[3, 2]);
             hops[0].set_parallelism(Parallelism {
                 ingest_workers: workers,
                 ..Parallelism::sequential()
@@ -861,7 +874,7 @@ mod tests {
 
     #[test]
     fn shared_round_core_matches_mix_round_bit_for_bit() {
-        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let (mut hops, _, mut rng) = launch_chain(1, &[3, 2]);
         let batch = onions(&hops, 5, &mut rng);
 
         // Pre-draw the plan from a cloned stream, run the &self core…
@@ -880,7 +893,7 @@ mod tests {
 
     #[test]
     fn fully_unwrapped_round_is_rejected() {
-        let (mut hops, _, mut rng) = launch_chain(1, 2);
+        let (mut hops, _, mut rng) = launch_chain(1, &[3, 2]);
         let batch = onions(&hops, 3, &mut rng);
         let (unwrapped, _) = hops[0].mix_round(&batch).unwrap();
         // Feeding the plaintext-bearing output back into a hop must fail:

@@ -216,10 +216,16 @@ impl OnionUpdate {
     /// parameters and validates the layer signature — what the aggregation
     /// server does with the last hop's output.
     ///
+    /// The signature check runs on the frames' **declared** headers before
+    /// any layer is decoded: a crafted frame naming a parameter count the
+    /// round's signature never authorized is rejected without allocating
+    /// a value buffer for it (the codec's `*_expecting` decoders re-check
+    /// per layer).
+    ///
     /// # Errors
     ///
     /// Returns [`CascadeError::Onion`] if envelopes remain or a layer fails
-    /// to decode, and [`CascadeError::SignatureMismatch`] if the decoded
+    /// to decode, and [`CascadeError::SignatureMismatch`] if the declared
     /// signature differs from `expected_signature`.
     pub fn into_params(self, expected_signature: &[usize]) -> Result<ModelParams, CascadeError> {
         if self.hops_remaining != 0 {
@@ -230,20 +236,24 @@ impl OnionUpdate {
                 ),
             });
         }
-        let mut layers = Vec::with_capacity(self.layers.len());
+        let layer_err = |e: mixnn_core::ProxyError| CascadeError::Onion {
+            reason: format!("inner layer plaintext: {e}"),
+        };
+        let mut declared = Vec::with_capacity(self.layers.len());
         for blob in &self.layers {
-            layers.push(codec::decode_layer(blob).map_err(|e| CascadeError::Onion {
-                reason: format!("inner layer plaintext: {e}"),
-            })?);
+            declared.push(codec::declared_layer_len(blob).map_err(layer_err)?);
         }
-        let params = ModelParams::from_layers(layers);
-        if params.signature() != expected_signature {
+        if declared != expected_signature {
             return Err(CascadeError::SignatureMismatch {
                 expected: expected_signature.to_vec(),
-                actual: params.signature(),
+                actual: declared,
             });
         }
-        Ok(params)
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (blob, &len) in self.layers.iter().zip(expected_signature) {
+            layers.push(codec::decode_layer_expecting(blob, len).map_err(layer_err)?);
+        }
+        Ok(ModelParams::from_layers(layers))
     }
 }
 

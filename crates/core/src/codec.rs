@@ -49,6 +49,20 @@
 //! would fingerprint clients by their update contents and shrink the
 //! anonymity set the mix provides. [`encoded_layer_len_with`] is that
 //! function, and the encoders `debug_assert` against it.
+//!
+//! **Decoders never trust a declared length.** A top-k header names a
+//! `len` far larger than its payload (that is the point of
+//! sparsification), so the decoders enforce the encode-side invariant
+//! `len ≤ 1024·k` — the keep ratio is clamped to at least 1/1024, so
+//! every frame a conforming encoder can emit satisfies it — before
+//! allocating anything; a crafted ~30-byte frame can therefore never
+//! name a multi-gigabyte allocation. All frame-size arithmetic is done
+//! in `u64`, so a near-`u32::MAX` header cannot wrap a `usize`
+//! computation on 32-bit targets either. Callers that know the round's
+//! layer signature should prefer the `*_expecting` entry points
+//! ([`decode_layer_expecting`], [`validate_layer_frame_expecting`],
+//! [`decode_params_expecting`]), which reject any frame whose declared
+//! geometry differs from the signature before a value buffer exists.
 
 use crate::ProxyError;
 use bytes::{Buf, BufMut};
@@ -312,7 +326,35 @@ pub fn encode_params_with(params: &ModelParams, compression: CompressionConfig) 
 /// Returns [`ProxyError::UnsupportedCodecVersion`] for a version this
 /// build does not speak, and [`ProxyError::Codec`] on truncation, bad
 /// magic, malformed v2 frames or trailing garbage.
-pub fn decode_params(mut bytes: &[u8]) -> Result<ModelParams, ProxyError> {
+pub fn decode_params(bytes: &[u8]) -> Result<ModelParams, ProxyError> {
+    decode_params_inner(bytes, None)
+}
+
+/// [`decode_params`], but the caller states the layer signature the body
+/// must carry (from the round's configuration). The declared geometry of
+/// every frame is walked structurally — headers only, no value buffer —
+/// and compared to `expected_signature` **before** anything is decoded,
+/// so a crafted body cannot force allocations the signature does not
+/// authorize.
+///
+/// # Errors
+///
+/// [`ProxyError::SignatureMismatch`] (carrying the full expected and
+/// declared signatures) when the declared layer lengths differ, plus
+/// every condition of [`decode_params`]. Structural malformation is
+/// reported as [`ProxyError::Codec`], taking precedence over the
+/// signature comparison — exactly what decode-then-compare reported.
+pub fn decode_params_expecting(
+    bytes: &[u8],
+    expected_signature: &[usize],
+) -> Result<ModelParams, ProxyError> {
+    decode_params_inner(bytes, Some(expected_signature))
+}
+
+fn decode_params_inner(
+    mut bytes: &[u8],
+    expected_signature: Option<&[usize]>,
+) -> Result<ModelParams, ProxyError> {
     let fail = |reason: &str| ProxyError::Codec {
         reason: reason.to_string(),
     };
@@ -330,6 +372,26 @@ pub fn decode_params(mut bytes: &[u8]) -> Result<ModelParams, ProxyError> {
     // Sanity bound: each declared layer needs at least its length header.
     if layer_count > bytes.remaining() / 4 + 1 {
         return Err(fail("implausible layer count"));
+    }
+    if let Some(expected) = expected_signature {
+        // Pre-pass: walk every frame's declared geometry (headers only)
+        // and pin it to the signature before any value buffer exists.
+        let mut rest = bytes;
+        let mut declared = Vec::with_capacity(layer_count);
+        for _ in 0..layer_count {
+            let (len, after) = skip_layer_frame(rest, version)?;
+            declared.push(len);
+            rest = after;
+        }
+        if rest.has_remaining() {
+            return Err(fail("trailing bytes after last layer"));
+        }
+        if declared != expected {
+            return Err(ProxyError::SignatureMismatch {
+                expected: expected.to_vec(),
+                actual: declared,
+            });
+        }
     }
     let mut layers = Vec::with_capacity(layer_count);
     for _ in 0..layer_count {
@@ -517,10 +579,11 @@ pub fn validate_layer_frame(bytes: &[u8]) -> Result<u8, ProxyError> {
             return Err(fail("layer header truncated"));
         }
         let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-        if bytes.len() < 4 + 4 * len {
+        // u64: `4 + 4·len` must not wrap usize on 32-bit targets.
+        if (bytes.len() as u64) < 4 + 4 * len as u64 {
             return Err(fail("layer data truncated"));
         }
-        if bytes.len() > 4 + 4 * len {
+        if (bytes.len() as u64) > 4 + 4 * len as u64 {
             return Err(fail("trailing bytes after layer data"));
         }
         return Ok(VERSION);
@@ -530,6 +593,78 @@ pub fn validate_layer_frame(bytes: &[u8]) -> Result<u8, ProxyError> {
         return Err(fail("trailing bytes after layer data"));
     }
     Ok(VERSION_V2)
+}
+
+/// The parameter count a layer frame *declares* in its header — a cheap
+/// header peek (no payload validation, no allocation) for checking a
+/// frame against an expected signature before decoding it.
+///
+/// # Errors
+///
+/// Returns [`ProxyError::UnsupportedCodecVersion`] for an unknown
+/// sentinel-opened version and [`ProxyError::Codec`] on a truncated
+/// header.
+pub fn declared_layer_len(bytes: &[u8]) -> Result<usize, ProxyError> {
+    let fail = |reason: &str| ProxyError::Codec {
+        reason: reason.to_string(),
+    };
+    let version = detect_layer_version(bytes)?;
+    if version == VERSION {
+        if bytes.len() < 4 {
+            return Err(fail("layer header truncated"));
+        }
+        return Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize);
+    }
+    if bytes.len() < 10 {
+        return Err(fail("v2 header truncated"));
+    }
+    Ok(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize)
+}
+
+/// Rejects a frame whose declared parameter count differs from what the
+/// round's signature says this layer must carry — checked from the
+/// header alone, before any value buffer is allocated.
+fn check_declared_len(bytes: &[u8], expected_len: usize) -> Result<(), ProxyError> {
+    let declared = declared_layer_len(bytes)?;
+    if declared != expected_len {
+        return Err(ProxyError::SignatureMismatch {
+            expected: vec![expected_len],
+            actual: vec![declared],
+        });
+    }
+    Ok(())
+}
+
+/// [`decode_layer`], but the caller states how many parameters the frame
+/// must carry (from the round's layer signature). A mismatched declared
+/// count is rejected as [`ProxyError::SignatureMismatch`] **before** any
+/// allocation, so a crafted header can never force a buffer the
+/// signature does not authorize.
+///
+/// # Errors
+///
+/// [`ProxyError::SignatureMismatch`] on a declared-length mismatch, plus
+/// every condition of [`decode_layer`].
+pub fn decode_layer_expecting(
+    bytes: &[u8],
+    expected_len: usize,
+) -> Result<LayerParams, ProxyError> {
+    check_declared_len(bytes, expected_len)?;
+    decode_layer(bytes)
+}
+
+/// [`validate_layer_frame`], but additionally pins the frame's declared
+/// parameter count to the round's signature — what the last hop runs on
+/// every unwrapped blob, so a frame that would make the server allocate
+/// anything other than `expected_len` values is charged to the ingest.
+///
+/// # Errors
+///
+/// [`ProxyError::SignatureMismatch`] on a declared-length mismatch, plus
+/// every condition of [`validate_layer_frame`].
+pub fn validate_layer_frame_expecting(bytes: &[u8], expected_len: usize) -> Result<u8, ProxyError> {
+    check_declared_len(bytes, expected_len)?;
+    validate_layer_frame(bytes)
 }
 
 /// Classifies the first bytes of a layer frame: v2 if (and only if) it
@@ -594,6 +729,16 @@ fn parse_v2_frame(bytes: &[u8]) -> Result<V2Frame<'_>, ProxyError> {
         if k > len {
             return Err(fail("top-k frame keeps more values than the layer holds"));
         }
+        // Encode-side invariant: the keep ratio is clamped to ≥ 1/1024,
+        // so every conforming frame has k ≥ ⌈len/1024⌉. Enforcing it here
+        // bounds the decode allocation by the frame's actual payload — a
+        // crafted header with a huge `len` and a tiny self-consistent `k`
+        // must be rejected before any `len`-sized buffer exists.
+        if len as u64 > 1024 * k as u64 {
+            return Err(fail(
+                "top-k frame declares more values than any keep ratio allows",
+            ));
+        }
         (k, V2_TOPK_HEADER)
     } else {
         (len, V2_DENSE_HEADER)
@@ -611,13 +756,22 @@ fn parse_v2_frame(bytes: &[u8]) -> Result<V2Frame<'_>, ProxyError> {
         bytes[header - 1],
     ]);
     let width = index_width(len);
-    let index_len = if mode == MODE_TOPK { k * width } else { 0 };
-    let total_len = header + index_len + k.min(len);
+    // u64 frame-size arithmetic: a near-u32::MAX header must not wrap a
+    // usize computation on 32-bit targets into a "valid" smaller size.
+    let index_len64 = if mode == MODE_TOPK {
+        k as u64 * width as u64
+    } else {
+        0
+    };
+    let total_len64 = header as u64 + index_len64 + k.min(len) as u64;
     // Dense payload is `len` quants; `k == len` there, so `k.min(len)`
     // covers both modes.
-    if bytes.len() < total_len {
+    if (bytes.len() as u64) < total_len64 {
         return Err(fail("v2 layer payload truncated"));
     }
+    // Bounded by the buffer length, so these fit in usize.
+    let index_len = index_len64 as usize;
+    let total_len = total_len64 as usize;
     let index_bytes = &bytes[header..header + index_len];
     if mode == MODE_TOPK {
         // Canonical index encoding: strictly ascending, in range. Checked
@@ -650,6 +804,35 @@ fn parse_v2_frame(bytes: &[u8]) -> Result<V2Frame<'_>, ProxyError> {
     })
 }
 
+/// Structurally steps over one layer frame of the given wire `version`
+/// without decoding any value, returning the frame's declared parameter
+/// count and the remaining bytes. Same rejection conditions as
+/// [`consume_layer_frame`], minus the value work.
+fn skip_layer_frame(bytes: &[u8], version: u8) -> Result<(usize, &[u8]), ProxyError> {
+    let fail = |reason: &str| ProxyError::Codec {
+        reason: reason.to_string(),
+    };
+    if version == VERSION {
+        if bytes.len() < 4 {
+            return Err(fail("layer header truncated"));
+        }
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if len == V2_SENTINEL as usize {
+            return Err(fail("v1 layer length collides with the v2 sentinel"));
+        }
+        let rest = &bytes[4..];
+        if (rest.len() as u64) < 4 * len as u64 {
+            return Err(fail("layer data truncated"));
+        }
+        return Ok((len, &rest[4 * len..]));
+    }
+    if detect_layer_version(bytes)? != VERSION_V2 {
+        return Err(fail("v2 body carries a layer without the v2 sentinel"));
+    }
+    let frame = parse_v2_frame(bytes)?;
+    Ok((frame.len, &bytes[frame.total_len..]))
+}
+
 /// Consumes one layer frame of the given wire `version` from the front of
 /// `bytes`, returning the decoded layer and the remaining bytes.
 fn consume_layer_frame(bytes: &[u8], version: u8) -> Result<(LayerParams, &[u8]), ProxyError> {
@@ -668,7 +851,8 @@ fn consume_layer_frame(bytes: &[u8], version: u8) -> Result<(LayerParams, &[u8])
             return Err(fail("v1 layer length collides with the v2 sentinel"));
         }
         let rest = &bytes[4..];
-        if rest.len() < 4 * len {
+        // u64 compare first: `4·len` may wrap usize on 32-bit targets.
+        if (rest.len() as u64) < 4 * len as u64 {
             return Err(fail("layer data truncated"));
         }
         let (data, rest) = rest.split_at(4 * len);
@@ -1108,6 +1292,126 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("ascending"));
+    }
+
+    /// A structurally self-consistent top-k frame with arbitrary header
+    /// geometry: valid sentinel/version/mode, ascending in-range indices
+    /// `0..k`, `k` quant bytes.
+    fn crafted_topk_frame(len: u32, k: u32) -> Vec<u8> {
+        let width = index_width(len as usize);
+        let mut frame = Vec::new();
+        frame.put_u32(V2_SENTINEL);
+        frame.put_u8(VERSION_V2);
+        frame.put_u8(MODE_TOPK);
+        frame.put_u32(len);
+        frame.put_u32(k);
+        frame.put_f32_le(1.0);
+        frame.put_f32_le(0.0);
+        for i in 0..k {
+            frame.extend_from_slice(&i.to_be_bytes()[4 - width..]);
+        }
+        frame.extend(std::iter::repeat_n(0x7f, k as usize));
+        frame
+    }
+
+    #[test]
+    fn huge_len_topk_frame_is_rejected_without_allocating() {
+        // The allocation-DoS shape: ~30 wire bytes declaring a ~16 GiB
+        // layer. Structurally valid everywhere except the keep-ratio
+        // invariant — every decode path must reject it from the header.
+        let frame = crafted_topk_frame(u32::MAX - 1, 1);
+        assert!(
+            frame.len() < 32,
+            "the attack is cheap: {} bytes",
+            frame.len()
+        );
+        for err in [
+            decode_layer(&frame).unwrap_err(),
+            validate_layer_frame(&frame).unwrap_err(),
+            decode_layer_expecting(&frame, (u32::MAX - 1) as usize).unwrap_err(),
+            validate_layer_frame_expecting(&frame, (u32::MAX - 1) as usize).unwrap_err(),
+        ] {
+            assert!(err.to_string().contains("keep ratio"), "{err}");
+        }
+        // And through the params body decoder.
+        let mut body = Vec::new();
+        body.put_u32(MAGIC);
+        body.put_u8(VERSION_V2);
+        body.put_u32(1);
+        body.extend_from_slice(&frame);
+        assert!(decode_params(&body).is_err());
+        assert!(decode_params_expecting(&body, &[(u32::MAX - 1) as usize]).is_err());
+    }
+
+    #[test]
+    fn topk_len_is_accepted_exactly_up_to_the_keep_ratio_bound() {
+        // len = 1024·k is what a keep_per_1024 = 1 encoder legitimately
+        // produces; one more value has no conforming encoder.
+        let ok = crafted_topk_frame(2048, 2);
+        assert_eq!(validate_layer_frame(&ok).unwrap(), VERSION_V2);
+        assert_eq!(decode_layer(&ok).unwrap().len(), 2048);
+        assert!(decode_layer(&crafted_topk_frame(2049, 2)).is_err());
+    }
+
+    #[test]
+    fn expecting_decoders_pin_the_declared_length() {
+        for mode in MODES {
+            let layer = LayerParams::from_values(vec![1.0, -2.0, 3.0]);
+            let frame = encode_layer_with(&layer, mode);
+            assert_eq!(declared_layer_len(&frame).unwrap(), 3, "{}", mode.name());
+            assert_eq!(
+                decode_layer_expecting(&frame, 3).unwrap(),
+                decode_layer(&frame).unwrap(),
+                "{}",
+                mode.name()
+            );
+            assert!(validate_layer_frame_expecting(&frame, 3).is_ok());
+            // Any other expected length is the typed signature error,
+            // reported before any value buffer is allocated.
+            let err = decode_layer_expecting(&frame, 4).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ProxyError::SignatureMismatch { ref expected, ref actual }
+                        if expected == &[4] && actual == &[3]
+                ),
+                "{}: {err}",
+                mode.name()
+            );
+            assert!(validate_layer_frame_expecting(&frame, 4).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_params_expecting_pins_the_signature() {
+        let p = sample();
+        let signature = p.signature();
+        for mode in MODES {
+            let bytes = encode_params_with(&p, mode);
+            assert_eq!(
+                decode_params_expecting(&bytes, &signature).unwrap(),
+                decode_params(&bytes).unwrap(),
+                "{}",
+                mode.name()
+            );
+            let err = decode_params_expecting(&bytes, &[9, 9, 9]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ProxyError::SignatureMismatch { ref expected, ref actual }
+                        if expected == &[9, 9, 9] && actual == &signature
+                ),
+                "{}: {err}",
+                mode.name()
+            );
+            // Malformation still takes precedence over the mismatch.
+            let mut truncated = bytes.clone();
+            truncated.pop();
+            assert!(matches!(
+                decode_params_expecting(&truncated, &signature).unwrap_err(),
+                ProxyError::Codec { .. }
+            ));
+        }
     }
 
     #[test]

@@ -414,13 +414,15 @@ impl MixnnProxy {
         decrypt_seconds: f64,
     ) -> Result<StagedUpdate, ProxyError> {
         let t1 = Instant::now();
-        let params = codec::decode_params(plaintext)?;
-        if !self.signature.is_empty() && params.signature() != self.signature {
-            return Err(ProxyError::SignatureMismatch {
-                expected: self.signature.clone(),
-                actual: params.signature(),
-            });
-        }
+        // With a configured signature, decode through the expecting path:
+        // the declared geometry is pinned to the signature before any
+        // value buffer is allocated, so a crafted header cannot name an
+        // allocation the round never authorized.
+        let params = if self.signature.is_empty() {
+            codec::decode_params(plaintext)?
+        } else {
+            codec::decode_params_expecting(plaintext, &self.signature)?
+        };
         // Charge the decoded update against the EPC while it sits in a
         // list (4 bytes per scalar, as in §6.5's per-update footprint).
         let footprint = params.total_len() * std::mem::size_of::<f32>();

@@ -10,9 +10,10 @@
 //! attacker-sized allocation.
 
 use mixnn_core::codec::{
-    canonical_layer, canonical_params, decode_layer, decode_params, encode_layer_with,
-    encode_params_with, encoded_layer_len_with, encoded_len_with, validate_layer_frame,
-    CompressionConfig, V2_SENTINEL,
+    canonical_layer, canonical_params, decode_layer, decode_layer_expecting, decode_params,
+    decode_params_expecting, encode_layer_with, encode_params_with, encoded_layer_len_with,
+    encoded_len_with, validate_layer_frame, validate_layer_frame_expecting, CompressionConfig,
+    V2_SENTINEL,
 };
 use mixnn_core::ProxyError;
 use mixnn_nn::{LayerParams, ModelParams};
@@ -31,6 +32,41 @@ fn mode(kind: usize) -> CompressionConfig {
 
 fn params_from(chunks: Vec<Vec<f32>>) -> ModelParams {
     ModelParams::from_layers(chunks.into_iter().map(LayerParams::from_values).collect())
+}
+
+/// Index width per the documented v2 format: bytes needed for `len - 1`.
+fn index_width(len: u32) -> usize {
+    let len = u64::from(len);
+    if len <= 1 << 8 {
+        1
+    } else if len <= 1 << 16 {
+        2
+    } else if len <= 1 << 24 {
+        3
+    } else {
+        4
+    }
+}
+
+/// A structurally self-consistent top-k frame for the given header
+/// fields: valid sentinel/version/mode, finite scale and zero, `k`
+/// strictly ascending in-range indices (0..k), `k` quant bytes — exactly
+/// the adversarial shape a huge-`len` allocation attack would craft.
+fn crafted_topk_frame(len: u32, k: u32) -> Vec<u8> {
+    let width = index_width(len);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&V2_SENTINEL.to_be_bytes());
+    frame.push(2); // version
+    frame.push(1); // mode: top-k
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&k.to_be_bytes());
+    frame.extend_from_slice(&1.0f32.to_le_bytes()); // scale
+    frame.extend_from_slice(&0.0f32.to_le_bytes()); // zero
+    for i in 0..k {
+        frame.extend_from_slice(&i.to_be_bytes()[4 - width..]);
+    }
+    frame.extend(std::iter::repeat_n(0x7f, k as usize));
+    frame
 }
 
 proptest! {
@@ -133,7 +169,13 @@ proptest! {
 
     // Adversarial v2 headers advertising up to u32::MAX values must be
     // rejected by header/length arithmetic alone — no panic and no
-    // allocation proportional to the claimed length.
+    // allocation beyond what the payload backs. The tight bound is
+    // 1024·payload: a dense frame needs one byte per value, and a top-k
+    // frame must satisfy `len ≤ 1024·k` (the encoder's minimum keep
+    // ratio is 1/1024) with each of the `k` kept values carrying at
+    // least one payload byte — so any frame whose claimed `len` exceeds
+    // 1024× the bytes after the length header is malformed whatever the
+    // other header fields say.
     #[test]
     fn max_len_headers_are_rejected_without_allocating(
         version in num::u8::ANY,
@@ -147,15 +189,127 @@ proptest! {
         frame.push(mode_byte);
         frame.extend_from_slice(&len.to_be_bytes());
         frame.extend_from_slice(&tail);
-        // A claimed length the tail cannot possibly back is malformed
-        // whatever the other header fields say.
-        if len as usize > 4 * tail.len() {
+        if u64::from(len) > 1024 * tail.len() as u64 {
             prop_assert!(decode_layer(&frame).is_err());
             prop_assert!(validate_layer_frame(&frame).is_err());
         } else {
             let _ = decode_layer(&frame);
             let _ = validate_layer_frame(&frame);
         }
+    }
+
+    // The allocation-DoS shape directly: a ~30-byte frame that is valid
+    // everywhere EXCEPT that its declared `len` has no payload backing
+    // it (huge `len`, tiny self-consistent `k`, ascending in-range
+    // indices). Every decoder — including the expecting variant fed the
+    // attacker's own length — must reject it via the `len ≤ 1024·k`
+    // invariant before any `len`-sized buffer exists.
+    #[test]
+    fn crafted_topk_frames_with_unbacked_len_are_rejected(
+        k in 1u32..=4,
+        len in 4097u32..=u32::MAX,
+    ) {
+        prop_assume!(u64::from(len) > 1024 * u64::from(k));
+        let frame = crafted_topk_frame(len, k);
+        let err = decode_layer(&frame).unwrap_err();
+        prop_assert!(err.to_string().contains("keep ratio"), "{err}");
+        prop_assert!(validate_layer_frame(&frame).is_err());
+        prop_assert!(decode_layer_expecting(&frame, len as usize).is_err());
+        prop_assert!(validate_layer_frame_expecting(&frame, len as usize).is_err());
+    }
+
+    // The same crafted shape at the legitimate boundary (`len = 1024·k`,
+    // the minimum keep ratio) must still be accepted — the invariant is
+    // exactly the encoder's envelope, not a narrower one.
+    #[test]
+    fn crafted_topk_frames_at_the_keep_ratio_bound_decode(k in 1u32..=4) {
+        let len = 1024 * k;
+        let frame = crafted_topk_frame(len, k);
+        prop_assert!(validate_layer_frame(&frame).is_ok());
+        let layer = decode_layer_expecting(&frame, len as usize).unwrap();
+        prop_assert_eq!(layer.len(), len as usize);
+        // Kept positions 0..k dequantize to 127·scale, the rest to zero.
+        for (i, &v) in layer.values().iter().enumerate() {
+            prop_assert_eq!(v, if i < k as usize { 127.0 } else { 0.0 });
+        }
+        // One value past the bound is rejected again.
+        prop_assert!(decode_layer(&crafted_topk_frame(len + 1, k)).is_err());
+    }
+
+    // The expecting decoders pin a frame's declared parameter count to
+    // the caller's signature: the right length behaves exactly like the
+    // plain decoders, any other length is the typed signature error
+    // before a value buffer is allocated.
+    #[test]
+    fn expecting_decoders_gate_on_the_declared_length(
+        values in vec(num::f32::ANY, 0..100),
+        kind in 0usize..3,
+        delta in 1usize..50,
+    ) {
+        let compression = mode(kind);
+        let layer = LayerParams::from_values(values);
+        let frame = encode_layer_with(&layer, compression);
+        // Bitwise comparison: drawn values may include NaN.
+        let expecting_bits: Vec<u32> = decode_layer_expecting(&frame, layer.len())
+            .unwrap()
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let plain_bits: Vec<u32> = decode_layer(&frame)
+            .unwrap()
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        prop_assert_eq!(expecting_bits, plain_bits);
+        prop_assert!(validate_layer_frame_expecting(&frame, layer.len()).is_ok());
+        let wrong = layer.len() + delta;
+        prop_assert!(matches!(
+            decode_layer_expecting(&frame, wrong),
+            Err(ProxyError::SignatureMismatch { .. })
+        ));
+        prop_assert!(matches!(
+            validate_layer_frame_expecting(&frame, wrong),
+            Err(ProxyError::SignatureMismatch { .. })
+        ));
+    }
+
+    // Same at the model level: the signature-gated body decoder matches
+    // the plain one on the true signature and rejects any other with the
+    // typed error carrying the declared geometry.
+    #[test]
+    fn params_expecting_gates_on_the_signature(
+        chunks in vec(vec(num::f32::ANY, 0..40), 0..6),
+        kind in 0usize..3,
+    ) {
+        let compression = mode(kind);
+        let params = params_from(chunks);
+        let bytes = encode_params_with(&params, compression);
+        let signature = params.signature();
+        // Bitwise comparison: drawn values may include NaN.
+        let expecting_bits: Vec<u32> = decode_params_expecting(&bytes, &signature)
+            .unwrap()
+            .flatten()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let plain_bits: Vec<u32> = decode_params(&bytes)
+            .unwrap()
+            .flatten()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        prop_assert_eq!(expecting_bits, plain_bits);
+        let mut wrong = signature.clone();
+        match wrong.first_mut() {
+            Some(first) => *first += 1,
+            None => wrong.push(1),
+        }
+        prop_assert!(matches!(
+            decode_params_expecting(&bytes, &wrong),
+            Err(ProxyError::SignatureMismatch { .. })
+        ));
     }
 
     // An unknown version byte in a v2 frame is the *typed* negotiation

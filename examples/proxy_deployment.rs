@@ -118,7 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lone_hop = mixnn::cascade::CascadeHop::launch(
         0,
         CascadeHopConfig::default(),
-        signature.len(),
+        &signature,
         &service,
         &mut rng,
     );
